@@ -1,0 +1,32 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one of the paper's tables/figures at quick
+scale through ``benchmark.pedantic(..., rounds=1)`` — the payload is a
+full experiment, so one round is the meaningful unit — then prints the
+regenerated rows (run pytest with ``-s`` to see them) and asserts the
+qualitative shape the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.registry import get_experiment
+
+
+def regenerate(benchmark, name: str, scale: Scale = Scale.QUICK):
+    """Run experiment *name* once under the benchmark timer."""
+    result = benchmark.pedantic(
+        lambda: get_experiment(name)(scale), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.rows
+    return result
+
+
+def column(result, header: str):
+    """Extract a column from an ExperimentResult by header name."""
+    index = result.headers.index(header)
+    return [row[index] for row in result.rows]

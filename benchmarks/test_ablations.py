@@ -1,0 +1,48 @@
+"""Ablation benchmarks: the design-choice studies DESIGN.md calls out."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_ablation_llib_size(benchmark):
+    """The FIFO needs hundreds of entries; beyond ~2048 nothing changes
+    (the paper's Figures 13/14 argument)."""
+    result = regenerate(benchmark, "ablation-llib")
+    rows = {row[0]: row for row in result.rows}
+    # A tiny LLIB stalls Analyze measurably; the paper's 2048 does not.
+    assert rows[64][2] > rows[2048][2]
+    # IPC saturates: 2048 -> 4096 buys (almost) nothing.
+    assert abs(rows[4096][1] - rows[2048][1]) <= max(0.05 * rows[2048][1], 0.02)
+    # And a starved LLIB costs real performance.
+    assert rows[2048][1] >= rows[64][1]
+
+
+def test_ablation_rob_timer(benchmark):
+    """Longer timers re-grow the window; the knee sits near the paper's 16."""
+    result = regenerate(benchmark, "ablation-timer")
+    ipcs = {row[0]: row[2] for row in result.rows}
+    # A 64-cycle timer (256-entry ROB) is not dramatically better than 16:
+    # the LLIB already provides the effective window.
+    assert ipcs[64] <= ipcs[16] * 1.3
+
+
+def test_ablation_predictor(benchmark):
+    """Table 2's perceptron is competitive with every simpler predictor.
+
+    (On the synthetic suite most branch outcomes are i.i.d. with a fixed
+    bias, so majority-vote predictors are already near-optimal; the
+    perceptron's history advantage shows on patterned branches, which the
+    unit tests in tests/branch/ assert directly.)
+    """
+    result = regenerate(benchmark, "ablation-predictor")
+    ipcs = {row[0]: row[1] for row in result.rows}
+    best = max(ipcs.values())
+    assert ipcs["perceptron"] >= best * 0.95
+
+
+def test_ablation_runahead(benchmark):
+    """Runahead (reference [24]) lands between the small core and the
+    KILO-class machines on SpecFP."""
+    result = regenerate(benchmark, "ablation-runahead")
+    ipcs = {row[0]: row[1] for row in result.rows}
+    assert ipcs["runahead-64"] > ipcs["R10-64"] * 1.5
+    assert ipcs["runahead-64"] < ipcs["D-KIP-2048"]

@@ -1,0 +1,20 @@
+"""Figure 1: IPC vs window size on SpecINT — limited recovery.
+
+Paper shape: all memory configurations improve modestly with window size,
+but the slow-memory curves never close on the perfect-L1 curve (pointer
+chasing and miss-dependent mispredictions stay on the critical path).
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig1_window_scaling_int(benchmark):
+    result = regenerate(benchmark, "fig1")
+    rows = {row[0]: row[1:] for row in result.rows}
+    perfect = rows["L1-2"]
+    slow = rows["MEM-400"]
+    # Window scaling never hurts integer codes...
+    assert slow[-1] >= slow[0] * 0.95
+    # ...but at the largest window, slow memory stays well short of the
+    # perfect-cache configuration (unlike SpecFP in Figure 2).
+    assert slow[-1] < perfect[-1] * 0.75

@@ -1,0 +1,21 @@
+"""Figure 2: IPC vs window size on SpecFP — large windows recover the IPC.
+
+Paper shape: with 4K ROB entries, even the 400-cycle-memory configuration
+performs close to the perfect-L1 one; the recovery factor across the sweep
+is large (load misses leave the critical path).
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig2_window_scaling_fp(benchmark):
+    result = regenerate(benchmark, "fig2")
+    rows = {row[0]: row[1:] for row in result.rows}
+    perfect = rows["L1-2"]
+    slow = rows["MEM-400"]
+    # Big recovery across the sweep...
+    assert slow[-1] > slow[0] * 3
+    # ...ending in the neighbourhood of the perfect-cache configuration.
+    assert slow[-1] > perfect[-1] * 0.6
+    # Monotone non-decreasing in window size (allowing simulation noise).
+    assert all(b >= a * 0.95 for a, b in zip(slow, slow[1:]))

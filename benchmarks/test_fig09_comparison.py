@@ -1,0 +1,27 @@
+"""Figure 9: R10-64 / R10-256 / KILO-1024 / D-KIP-2048 on both suites.
+
+Paper shape (IPC): SpecINT 1.19 / 1.32 / 1.38 / 1.33 — compressed gaps,
+KILO slightly ahead of the D-KIP.  SpecFP 1.26 / 1.71 / 2.23 / 2.37 — the
+KILO-class machines far ahead, D-KIP ~1.9x over R10-64.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig9_machine_comparison(benchmark):
+    result = regenerate(benchmark, "fig9")
+    ipc = {(row[0], row[1]): row[2] for row in result.rows}
+
+    # SpecFP: the decoupled machines dominate.
+    fp = {m: ipc[("SpecFP", m)] for m in ("R10-64", "R10-256", "KILO-1024", "D-KIP-2048")}
+    assert fp["R10-64"] < fp["R10-256"] < fp["D-KIP-2048"]
+    assert fp["D-KIP-2048"] > fp["R10-64"] * 1.8       # paper: +88%
+    assert fp["D-KIP-2048"] > fp["R10-256"] * 1.3      # paper: +40%
+    assert abs(fp["D-KIP-2048"] - fp["KILO-1024"]) < fp["KILO-1024"] * 0.25
+
+    # SpecINT: gains compress; windows never hurt.
+    int_ = {m: ipc[("SpecINT", m)] for m in ("R10-64", "R10-256", "KILO-1024", "D-KIP-2048")}
+    assert int_["R10-64"] < int_["R10-256"]
+    assert int_["D-KIP-2048"] > int_["R10-64"]
+    assert int_["KILO-1024"] >= int_["D-KIP-2048"] * 0.95
+    assert int_["D-KIP-2048"] < int_["R10-64"] * 1.6

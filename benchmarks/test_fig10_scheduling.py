@@ -1,0 +1,23 @@
+"""Figure 10: CP/MP scheduler policies and queue sizes on SpecFP.
+
+Paper shape: out-of-order vs in-order in the Cache Processor is worth
+roughly +30%; the Memory Processor's configuration matters only a few
+percent, growing slightly with CP aggressiveness.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig10_scheduler_sweep(benchmark):
+    result = regenerate(benchmark, "fig10")
+    rows = {row[0]: row[1:] for row in result.rows}
+    ino_row = rows["INO"]
+    biggest_cp = result.rows[-1][0]
+    big_row = rows[biggest_cp]
+    # OOO CP is a large win over an in-order CP.
+    assert big_row[0] > ino_row[0] * 1.2
+    # The MP config is a second-order effect next to the CP config.
+    cp_gain = big_row[0] / ino_row[0]
+    mp_gain = big_row[-1] / big_row[0]
+    assert mp_gain < cp_gain
+    assert mp_gain < 1.3

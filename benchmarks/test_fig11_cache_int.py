@@ -1,0 +1,18 @@
+"""Figure 11: L2 size sweep on SpecINT — everyone scales with the cache.
+
+Paper shape: near-linear IPC growth per L2 doubling on every machine; the
+D-KIP behaves like the conventional core here (its latency tolerance
+cannot fix serial miss chains, only a bigger cache can).
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig11_cache_sweep_int(benchmark):
+    result = regenerate(benchmark, "fig11")
+    for row in result.rows:
+        label, ipcs = row[0], row[1:-2]
+        # IPC grows substantially from the smallest to the largest L2.
+        assert ipcs[-1] > ipcs[0] * 1.3, f"{label}: {ipcs}"
+        # And (near-)monotonically along the sweep.
+        assert all(b >= a * 0.9 for a, b in zip(ipcs, ipcs[1:])), label

@@ -1,0 +1,28 @@
+"""Figure 12 (+ §4.4): L2 size sweep on SpecFP — the D-KIP barely cares.
+
+Paper shape: R10-256 gains 1.55x across the 64KB→4MB sweep while the most
+aggressive D-KIP gains only 1.18x, because the D-KIP processes correct-path
+long-latency instructions without stalling.  §4.4: the CP's share of
+committed instructions grows (67%→77% in the paper) with the L2.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig12_cache_sweep_fp(benchmark):
+    result = regenerate(benchmark, "fig12")
+    gains = {}
+    for row in result.rows:
+        label, ipcs = row[0], row[1:-2]
+        gains[label] = ipcs[-1] / ipcs[0]
+    r10_gain = gains.pop("R10-256")
+    # Every D-KIP configuration is far less cache sensitive than R10-256.
+    for label, gain in gains.items():
+        assert r10_gain > gain * 1.4, f"{label}: {gain:.2f} vs R10 {r10_gain:.2f}"
+
+    # §4.4: CP share grows with the L2 on the D-KIP rows.
+    for row in result.rows:
+        if row[0] == "R10-256":
+            continue
+        lo, hi = row[-1].replace("%", "").split("→")
+        assert float(hi) >= float(lo)

@@ -1,0 +1,20 @@
+"""Figure 13: integer-LLIB occupancy per SpecINT benchmark.
+
+Paper shape: pointer-chasing benchmarks drive the integer LLIB hard (four
+of them fill its 2048 entries); the register (LLRF) peak is always below
+the instruction peak because many entries carry no READY operand.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig13_llib_occupancy_int(benchmark):
+    result = regenerate(benchmark, "fig13")
+    rows = {row[0]: row for row in result.rows}
+    # mcf, the pointer chaser, stresses the integer LLIB hardest.
+    mcf_instr = rows["mcf"][1]
+    assert mcf_instr == max(row[1] for row in result.rows)
+    assert mcf_instr > 100
+    # Registers never exceed instructions (Alpha: <=1 READY operand each).
+    for name, row in rows.items():
+        assert row[2] <= max(row[1], 1), name

@@ -1,0 +1,20 @@
+"""Figure 14: floating-point-LLIB occupancy per SpecFP benchmark.
+
+Paper shape: no SpecFP benchmark fills the 2048-entry LLIB; the streaming
+codes keep hundreds to ~1700 entries live (ammp highest); cache-resident
+codes (galgel, mesa) keep it nearly empty; registers stay below
+instructions.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig14_llib_occupancy_fp(benchmark):
+    result = regenerate(benchmark, "fig14")
+    rows = {row[0]: row for row in result.rows}
+    # Streaming codes occupy the FP LLIB; resident codes do not.
+    assert rows["swim"][1] > 50
+    assert rows["galgel"][1] < rows["swim"][1]
+    # Registers below instructions everywhere.
+    for name, row in rows.items():
+        assert row[2] <= max(row[1], 1), name

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not a paper figure: these track the simulator's own performance so
+regressions in the hot paths (cache access, wakeup, per-cycle overhead)
+are visible in the benchmark history.
+"""
+
+from repro.branch import make_predictor
+from repro.memory import DEFAULT_MEMORY, MemoryHierarchy
+from repro.sim.config import DKIP_2048, R10_64
+from repro.sim.runner import simulate
+from repro.workloads import get_workload
+
+
+def test_cache_access_throughput(benchmark):
+    hierarchy = MemoryHierarchy(DEFAULT_MEMORY)
+    addresses = [(i * 191) % (1 << 22) for i in range(10_000)]
+
+    def touch_all():
+        for addr in addresses:
+            hierarchy.access(addr, now=0)
+
+    benchmark.pedantic(touch_all, rounds=3, iterations=1)
+
+
+def test_perceptron_throughput(benchmark):
+    predictor = make_predictor("perceptron")
+    pcs = [(i * 64) & 0xFFFF for i in range(5_000)]
+
+    def predict_all():
+        for pc in pcs:
+            predictor.update(pc, pc & 1 == 0)
+
+    benchmark.pedantic(predict_all, rounds=3, iterations=1)
+
+
+def test_r10_core_cycles_per_second(benchmark):
+    workload = get_workload("applu")
+    trace = workload.trace(4_000)
+
+    def run():
+        return simulate(R10_64, trace, regions=workload.regions)
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert stats.committed == 4_000
+
+
+def test_dkip_core_cycles_per_second(benchmark):
+    workload = get_workload("applu")
+    trace = workload.trace(4_000)
+
+    def run():
+        return simulate(DKIP_2048, trace, regions=workload.regions)
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert stats.committed == 4_000

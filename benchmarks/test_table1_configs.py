@@ -1,0 +1,11 @@
+"""Table 1: the six memory subsystems build and report paper latencies."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_table1(benchmark):
+    result = regenerate(benchmark, "table1")
+    names = [row[0] for row in result.rows]
+    assert names == ["L1-2", "L2-11", "L2-21", "MEM-100", "MEM-400", "MEM-1000"]
+    mem_400 = next(row for row in result.rows if row[0] == "MEM-400")
+    assert mem_400[1] == 2 and mem_400[3] == 11 and mem_400[5] == 400

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Machine-independent locality analysis: sizing the D-KIP from a trace.
+
+Before committing to hardware parameters, the paper's methodology asks
+three questions of the *program*: how much of it is low locality, how
+long the low-locality slices run, and how many misses a window could
+overlap.  This example answers them for any workload using
+:mod:`repro.analysis` — no pipeline simulation involved — and compares
+the functional prediction against the timed D-KIP run.
+
+Run with::
+
+    python examples/locality_analysis.py [workload] [instructions]
+"""
+
+import sys
+
+from repro import DKIP_2048, get_workload, run_core
+from repro.analysis import classify_locality, mlp_profile, slice_profile
+from repro.memory import DEFAULT_MEMORY, MemoryHierarchy, warm_caches
+from repro.viz import table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+
+    workload = get_workload(name)
+    trace = workload.trace(instructions)
+    print(f"workload: {workload.name} — {workload.description}\n")
+
+    hierarchy = MemoryHierarchy(DEFAULT_MEMORY)
+    warm_caches(hierarchy, workload.regions)
+    report = classify_locality(trace, hierarchy)
+    print(f"low execution locality : {report.low_fraction * 100:5.1f}% "
+          f"of {report.total} instructions")
+    print(f"long-latency loads     : {report.long_latency_loads}")
+    if report.low_by_op:
+        mix = ", ".join(f"{op}:{n}" for op, n in report.low_by_op.most_common(5))
+        print(f"what fills the LLIB    : {mix}")
+
+    slices = slice_profile(report)
+    print(f"\nlow-locality slices    : {slices.slices} "
+          f"(mean {slices.mean_length:.1f}, longest {slices.longest})")
+    rows = [[f"<= {bucket}", count] for bucket, count in sorted(slices.histogram.items())]
+    if rows:
+        print(table(["slice length", "count"], rows))
+
+    hierarchy = MemoryHierarchy(DEFAULT_MEMORY)
+    warm_caches(hierarchy, workload.regions)
+    mlp = mlp_profile(trace, hierarchy, window=256)
+    print(f"\nmiss-level parallelism : {mlp.mean_overlap:.1f} independent "
+          f"misses per 256-instruction window (max {mlp.max_overlap})")
+
+    stats = run_core(DKIP_2048, workload, instructions)
+    print(f"\ntimed D-KIP check      : IPC {stats.ipc:.2f}, "
+          f"CP share {stats.cp_fraction * 100:.0f}% "
+          f"(functional prediction {100 - report.low_fraction * 100:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

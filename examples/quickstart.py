@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one workload on the four machines of Figure 9.
+
+Run with::
+
+    python examples/quickstart.py [workload] [instructions]
+
+e.g. ``python examples/quickstart.py swim 15000``.  The default workload,
+``swim``, is the paper's canonical memory-bound SpecFP code: watch the
+two KILO-instruction machines sail past the conventional cores.
+"""
+
+import sys
+
+from repro import DKIP_2048, KILO_1024, R10_64, R10_256, get_workload, run_core
+from repro.viz import bar_chart
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 12_000
+
+    workload = get_workload(name)
+    print(f"workload: {workload.name} — {workload.description}")
+    print(f"simulating {instructions} committed instructions per machine\n")
+
+    ipcs = {}
+    for machine in (R10_64, R10_256, KILO_1024, DKIP_2048):
+        stats = run_core(machine, workload, instructions)
+        ipcs[machine.name] = stats.ipc
+        extra = ""
+        if stats.llib_insertions:
+            extra = (
+                f"  [low-locality: {stats.llib_insertions} insertions, "
+                f"CP share {stats.cp_fraction * 100:.0f}%]"
+            )
+        print(
+            f"{machine.name:12s} IPC {stats.ipc:5.2f}  "
+            f"cycles {stats.cycles:7d}  "
+            f"branch acc {stats.branch_accuracy * 100:5.1f}%"
+            f"{extra}"
+        )
+
+    print()
+    print(bar_chart(ipcs, title=f"IPC on {workload.name}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — reproduction of "A Decoupled KILO-Instruction Processor" (HPCA 2006).
+
+A trace-driven microarchitecture simulation library built around the
+paper's contribution, the D-KIP: a decoupled Cache-Processor /
+Memory-Processor machine exploiting *execution locality*.
+
+Quickstart::
+
+    from repro import DKIP_2048, R10_64, get_workload, run_core
+
+    workload = get_workload("swim")
+    base = run_core(R10_64, workload, 20_000)
+    dkip = run_core(DKIP_2048, workload, 20_000)
+    print(f"R10-64 IPC {base.ipc:.2f}  vs  D-KIP IPC {dkip.ipc:.2f}")
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+per-figure reproduction record.
+"""
+
+from repro.sim import (
+    DKIP_2048,
+    KILO_1024,
+    R10_64,
+    R10_256,
+    CoreConfig,
+    DkipConfig,
+    KiloConfig,
+    SchedulerPolicy,
+    SimStats,
+    run_core,
+    simulate,
+)
+from repro.memory import DEFAULT_MEMORY, MemoryConfig, TABLE1_CONFIGS
+from repro.workloads import SPECFP_NAMES, SPECINT_NAMES, get_workload, suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DKIP_2048",
+    "KILO_1024",
+    "R10_64",
+    "R10_256",
+    "CoreConfig",
+    "DkipConfig",
+    "KiloConfig",
+    "SchedulerPolicy",
+    "SimStats",
+    "run_core",
+    "simulate",
+    "DEFAULT_MEMORY",
+    "MemoryConfig",
+    "TABLE1_CONFIGS",
+    "SPECINT_NAMES",
+    "SPECFP_NAMES",
+    "get_workload",
+    "suite",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Program-analysis utilities around *execution locality*.
+
+The paper's Section 2 is an analysis methodology as much as a design: it
+classifies instructions by their dependence on off-chip accesses and
+reasons about slice sizes and miss-level parallelism before proposing any
+hardware.  This package provides that methodology as a library, machine-
+independently (pure dataflow over a trace + cache model, no pipeline):
+
+* :func:`classify_locality` — per-instruction high/low locality split and
+  the register-poisoning dataflow behind it;
+* :func:`slice_profile` — sizes of low-locality slices (what the LLIB must
+  buffer contiguously);
+* :func:`mlp_profile` — how many independent misses a window of the given
+  size could overlap (why "Karkhanis' observation" makes KILO processors
+  work).
+"""
+
+from repro.analysis.locality import (
+    LocalityReport,
+    MlpReport,
+    SliceReport,
+    classify_locality,
+    mlp_profile,
+    slice_profile,
+)
+
+__all__ = [
+    "LocalityReport",
+    "MlpReport",
+    "SliceReport",
+    "classify_locality",
+    "mlp_profile",
+    "slice_profile",
+]

@@ -1,0 +1,202 @@
+"""Machine-independent execution-locality analysis.
+
+These functions replay a trace *functionally* against a cache model — no
+timing, no pipeline — and propagate long-latency taint through registers,
+which is exactly the classification the D-KIP's Analyze stage performs in
+hardware with its LLBV.  They answer the sizing questions of the paper:
+
+* how much of the dynamic instruction stream is low locality (the D-KIP's
+  §4.4 CP/MP split is the timed version of this number);
+* how long the contiguous low-locality slices are (LLIB capacity);
+* how many independent misses land inside a window (the MLP a large
+  effective window can expose).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.isa import Instruction, OpClass
+from repro.isa.registers import NUM_REGS
+from repro.memory.cache import AccessLevel
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class LocalityReport:
+    """Outcome of :func:`classify_locality`."""
+
+    total: int = 0
+    low_locality: int = 0
+    long_latency_loads: int = 0
+    #: op-class name -> low-locality count (who populates the LLIB).
+    low_by_op: Counter = field(default_factory=Counter)
+    #: per-instruction classification, aligned with the input trace.
+    flags: list[bool] = field(default_factory=list)
+
+    @property
+    def high_locality(self) -> int:
+        return self.total - self.low_locality
+
+    @property
+    def low_fraction(self) -> float:
+        return self.low_locality / self.total if self.total else 0.0
+
+
+def classify_locality(
+    trace: Iterable[Instruction], hierarchy: MemoryHierarchy
+) -> LocalityReport:
+    """Split a trace into high/low execution locality.
+
+    Taint rules mirror the Analyze stage: a load missing to memory marks
+    its destination long latency; any instruction reading a long-latency
+    register is low locality and taints its own destination; a
+    short-latency definition clears the taint.  (Checkpoint-recovery
+    clearing does not apply — this is the un-speculated dataflow view.)
+    """
+    report = LocalityReport()
+    tainted = [False] * NUM_REGS
+    # Nominal one-instruction-per-cycle clock so outstanding line fills
+    # elapse the way they would in steady-state execution.
+    now = 0
+    for instr in trace:
+        now += 1
+        report.total += 1
+        low = any(tainted[src] for src in instr.live_srcs())
+        if instr.is_load and not low:
+            # The load itself executes promptly; does its value come from
+            # off chip?
+            _, level = hierarchy.access(instr.addr, write=False, now=now)
+            if level == AccessLevel.MEMORY:
+                report.long_latency_loads += 1
+                if instr.dest is not None:
+                    tainted[instr.dest] = True
+            elif instr.dest is not None:
+                tainted[instr.dest] = False
+        else:
+            if instr.is_mem:
+                hierarchy.access(instr.addr, write=instr.is_store, now=now)
+            if instr.dest is not None:
+                tainted[instr.dest] = low
+        if low:
+            report.low_locality += 1
+            report.low_by_op[instr.op.short_name] += 1
+        report.flags.append(low)
+    return report
+
+
+@dataclass
+class SliceReport:
+    """Contiguous low-locality slice statistics (LLIB sizing)."""
+
+    slices: int = 0
+    longest: int = 0
+    total_instructions: int = 0
+    histogram: Counter = field(default_factory=Counter)
+
+    @property
+    def mean_length(self) -> float:
+        return self.total_instructions / self.slices if self.slices else 0.0
+
+
+def slice_profile(report: LocalityReport, gap: int = 4) -> SliceReport:
+    """Group low-locality instructions into slices.
+
+    Two low-locality instructions belong to the same slice when fewer than
+    *gap* high-locality instructions separate them (the LLIB drains
+    between slices, so small gaps don't reset its occupancy).
+    """
+    out = SliceReport()
+    run = 0
+    misses_since = 0
+    for low in report.flags:
+        if low:
+            if run == 0:
+                out.slices += 1
+            run += 1
+            misses_since = 0
+        else:
+            misses_since += 1
+            if run and misses_since >= gap:
+                out.histogram[_bucket(run)] += 1
+                out.longest = max(out.longest, run)
+                out.total_instructions += run
+                run = 0
+    if run:
+        out.histogram[_bucket(run)] += 1
+        out.longest = max(out.longest, run)
+        out.total_instructions += run
+    return out
+
+
+def _bucket(length: int) -> int:
+    """Power-of-two histogram bucket (1, 2, 4, 8, ...)."""
+    bucket = 1
+    while bucket < length:
+        bucket *= 2
+    return bucket
+
+
+@dataclass
+class MlpReport:
+    """Miss-level-parallelism profile (what a window can overlap)."""
+
+    window: int = 0
+    total_misses: int = 0
+    #: mean number of *independent* misses per window that contains >= 1.
+    mean_overlap: float = 0.0
+    max_overlap: int = 0
+
+
+def mlp_profile(
+    trace: Iterable[Instruction],
+    hierarchy: MemoryHierarchy,
+    window: int = 256,
+) -> MlpReport:
+    """Count independent memory misses per *window* dynamic instructions.
+
+    A miss whose base register is tainted by an earlier in-window miss is
+    *dependent* (serialized — mcf's chains); the rest could overlap in a
+    window of this size.  The contrast between SpecFP (high overlap) and
+    pointer chasers (overlap ~1) is the paper's Figure 4 in numbers.
+    """
+    report = MlpReport(window=window)
+    tainted = [False] * NUM_REGS
+    overlaps: list[int] = []
+    independent_in_window = 0
+    position = 0
+    now = 0
+    for instr in trace:
+        now += 1
+        if position == window:
+            if independent_in_window:
+                overlaps.append(independent_in_window)
+            independent_in_window = 0
+            position = 0
+            tainted = [False] * NUM_REGS
+        position += 1
+        if not instr.is_mem:
+            if instr.dest is not None:
+                tainted[instr.dest] = any(
+                    tainted[s] for s in instr.live_srcs()
+                )
+            continue
+        _, level = hierarchy.access(instr.addr, write=instr.is_store, now=now)
+        if level != AccessLevel.MEMORY or instr.is_store:
+            if instr.dest is not None:
+                tainted[instr.dest] = False
+            continue
+        report.total_misses += 1
+        dependent = any(tainted[s] for s in instr.live_srcs())
+        if not dependent:
+            independent_in_window += 1
+        if instr.dest is not None:
+            tainted[instr.dest] = True
+    if independent_in_window:
+        overlaps.append(independent_in_window)
+    if overlaps:
+        report.mean_overlap = sum(overlaps) / len(overlaps)
+        report.max_overlap = max(overlaps)
+    return report

@@ -1,0 +1,179 @@
+"""Idealized ROB-only processor for the Section-2 characterization.
+
+The paper's memory-wall study (Figures 1 and 2) uses 4-way out-of-order
+cores whose "resources are sized such that stalls can only occur due to
+shortage of entries in the ROB": unlimited issue queues, registers and
+functional units.  Such a machine needs no per-cycle structural
+arbitration, so instead of the cycle-level models we compute each dynamic
+instruction's timing directly in one O(n) pass:
+
+* fetch advances 4 instructions per cycle, breaks at taken branches, and
+  stalls at mispredicted branches until they resolve;
+* dispatch waits for a ROB slot (instruction ``i - rob_size`` must have
+  committed);
+* issue waits for the source operands;
+* commit is in-order, 4 wide.
+
+The same pass records the decode→issue distance of every instruction,
+which is Figure 3's histogram and the empirical basis of the paper's
+*execution locality* concept.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.branch.base import BranchPredictor
+from repro.isa import DEFAULT_LATENCIES, Instruction, LatencyTable, OpClass
+from repro.isa.registers import NUM_REGS
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.stats import Histogram, SimStats
+
+
+@dataclass
+class LimitResult:
+    """Outcome of one limit-simulation run."""
+
+    committed: int
+    cycles: int
+    stats: SimStats
+    issue_distance: Histogram
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+
+def simulate_limit(
+    trace: Iterable[Instruction],
+    hierarchy: MemoryHierarchy,
+    rob_size: int | None,
+    predictor: BranchPredictor,
+    width: int = 4,
+    redirect_penalty: int = 5,
+    latencies: LatencyTable = DEFAULT_LATENCIES,
+    histogram_bin: int = 25,
+) -> LimitResult:
+    """Run the idealized core over *trace*.
+
+    Args:
+        rob_size: ROB capacity; ``None`` means unlimited (the configuration
+            of the Figure-3 analysis).
+        histogram_bin: Bin width (cycles) for the decode→issue histogram.
+    """
+    stats = SimStats(config=f"limit-{rob_size or 'inf'}")
+    histogram = Histogram(bin_width=histogram_bin, max_value=4000)
+
+    reg_time = [0] * NUM_REGS
+    # Commit times of the ROB-resident window (for the capacity constraint)
+    rob_commits: deque[int] = deque()
+    # Commit times of the last `width` instructions (commit bandwidth)
+    recent_commits: deque[int] = deque([0] * width, maxlen=width)
+    last_commit = 0
+    fetch_cycle = 0
+    slots_left = width          # fetch slots remaining in the current cycle
+    resume_cycle = 0            # earliest fetch cycle after a misprediction
+    committed = 0
+    agen = latencies.agen
+
+    for instr in trace:
+        # ---- fetch -----------------------------------------------------
+        if slots_left == 0:
+            fetch_cycle += 1
+            slots_left = width
+        if fetch_cycle < resume_cycle:
+            fetch_cycle = resume_cycle
+            slots_left = width
+        slots_left -= 1
+        stats.fetched += 1
+
+        # ---- dispatch (ROB capacity) ------------------------------------
+        dispatch = fetch_cycle
+        if rob_size is not None and len(rob_commits) >= rob_size:
+            oldest_commit = rob_commits.popleft()
+            if oldest_commit + 1 > dispatch:
+                dispatch = oldest_commit + 1
+                # The back-pressure propagates to the front end.
+                fetch_cycle = dispatch
+                slots_left = width - 1
+
+        # ---- issue -----------------------------------------------------
+        ready = dispatch + 1
+        for src in instr.live_srcs():
+            t = reg_time[src]
+            if t > ready:
+                ready = t
+        issue = ready
+        histogram.add(issue - (dispatch + 1))
+
+        # ---- execute ---------------------------------------------------
+        op = instr.op
+        if instr.is_load:
+            mem_latency, _level = hierarchy.access(instr.addr, write=False, now=issue)
+            latency = agen + mem_latency
+        elif instr.is_store:
+            hierarchy.access(instr.addr, write=True, now=issue)
+            latency = agen
+        else:
+            latency = latencies.latency_of(op)
+        complete = issue + latency
+        dest = instr.dest
+        if dest is not None:
+            reg_time[dest] = complete
+
+        # ---- control flow ----------------------------------------------
+        if op == OpClass.BRANCH:
+            stats.branch_predictions += 1
+            if not predictor.update(instr.pc, bool(instr.taken)):
+                stats.branch_mispredictions += 1
+                resume_cycle = complete + redirect_penalty
+                slots_left = 0
+        elif instr.taken:
+            # Taken jump ends the fetch group.
+            slots_left = 0
+
+        # ---- commit ----------------------------------------------------
+        commit = complete
+        if last_commit > commit:
+            commit = last_commit
+        if recent_commits[0] + 1 > commit:
+            commit = recent_commits[0] + 1
+        last_commit = commit
+        recent_commits.append(commit)
+        if rob_size is not None:
+            rob_commits.append(commit)
+        committed += 1
+
+    cycles = last_commit if committed else 0
+    stats.committed = committed
+    stats.cycles = cycles
+    stats.issue_distance = histogram
+    stats.l1_hits = hierarchy.l1.hits
+    stats.l1_misses = hierarchy.l1.misses
+    if hierarchy.l2 is not None:
+        stats.l2_hits = hierarchy.l2.hits
+        stats.l2_misses = hierarchy.l2.misses
+    if hierarchy.memory is not None:
+        stats.memory_accesses = hierarchy.memory.accesses
+    return LimitResult(
+        committed=committed, cycles=cycles, stats=stats, issue_distance=histogram
+    )
+
+
+def issue_distance_histogram(
+    trace: Iterable[Instruction],
+    hierarchy: MemoryHierarchy,
+    predictor: BranchPredictor,
+    histogram_bin: int = 25,
+) -> Histogram:
+    """Figure-3 measurement: unlimited window, decode→issue distances."""
+    result = simulate_limit(
+        trace,
+        hierarchy,
+        rob_size=None,
+        predictor=predictor,
+        histogram_bin=histogram_bin,
+    )
+    return result.issue_distance

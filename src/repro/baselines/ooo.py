@@ -1,0 +1,188 @@
+"""R10000-style out-of-order core.
+
+This is the conventional superscalar the paper uses both as its baseline
+(R10-64, R10-256 in Figure 9) and as the starting point for the D-KIP's
+Cache Processor: merged register file, ROB commit, bounded issue queues,
+and a load/store queue, fetching four instructions per cycle behind a
+perceptron branch predictor.
+
+The per-cycle pipeline, in back-to-front order so a value produced this
+cycle can be consumed this cycle but structural slots free up next cycle:
+
+1. completions & wakeup (event wheel)
+2. in-order commit from the ROB head
+3. issue from the ready heaps / queue heads, limited by FUs and width
+4. dispatch from the fetch buffer into ROB + issue queues + LSQ
+5. fetch (stalls at mispredicted branches until they resolve)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.branch.base import BranchPredictor
+from repro.isa import Instruction
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.core import CycleCore
+from repro.pipeline.entry import InFlight
+from repro.pipeline.fetch import FetchUnit
+from repro.pipeline.fu import FuKind, FuPool, fu_kind_of
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.queues import IssueQueue
+from repro.pipeline.regstate import RegisterTracker
+from repro.sim.config import CoreConfig, SchedulerPolicy
+from repro.sim.stats import SimStats
+
+#: Resolve latencies above this count as long-latency mispredictions.
+LONG_MISPREDICT_THRESHOLD = 64
+
+
+class R10Core(CycleCore):
+    """Conventional out-of-order processor parameterized by ``CoreConfig``."""
+
+    def __init__(
+        self,
+        trace: Iterable[Instruction],
+        config: CoreConfig,
+        hierarchy: MemoryHierarchy,
+        predictor: BranchPredictor,
+        stats: SimStats | None = None,
+    ) -> None:
+        stats = stats or SimStats(config=config.name)
+        super().__init__(config.name, hierarchy, stats)
+        self.config = config
+        self.fetch = FetchUnit(
+            trace,
+            config.fetch_width,
+            config.fetch_buffer,
+            predictor,
+            config.mispredict_redirect,
+            stats,
+        )
+        self.rob: deque[InFlight] = deque()
+        self.iq_int = IssueQueue("iq-int", config.iq_int, config.scheduler)
+        self.iq_fp = IssueQueue("iq-fp", config.iq_fp, config.scheduler)
+        self.lsq = LoadStoreQueue(config.lsq_size)
+        self.regs = RegisterTracker()
+        self.fus = FuPool(config.fus)
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        self.process_completions()
+        self._commit()
+        self._issue()
+        self._dispatch()
+        self.fetch.cycle(self.now)
+
+    def on_complete(self, entry: InFlight) -> None:
+        instr = entry.instr
+        if instr.is_branch:
+            self.fetch.on_branch_resolved(entry.seq, self.now)
+            if (
+                entry.mispredicted
+                and self.now - entry.dispatch_cycle > LONG_MISPREDICT_THRESHOLD
+            ):
+                self.stats.long_latency_branch_mispredictions += 1
+
+    # ------------------------------------------------------------------
+
+    def _commit(self) -> None:
+        rob = self.rob
+        committed = 0
+        width = self.config.commit_width
+        while committed < width and rob and rob[0].executed:
+            entry = rob.popleft()
+            instr = entry.instr
+            if instr.is_mem:
+                if instr.is_store:
+                    # Stores write the cache at commit; the latency is not
+                    # on the critical path (retire from the store buffer).
+                    self.hierarchy.access(instr.addr, write=True, now=self.now)
+                    self.lsq.store_committed(entry)
+                self.lsq.release()
+            self.committed += 1
+            committed += 1
+
+    # ------------------------------------------------------------------
+
+    def _issue_queues(self) -> tuple[IssueQueue, ...]:
+        """Queue inspection order; alternates by parity so neither cluster
+        can starve the other at full issue bandwidth."""
+        if self.now & 1 == 0:
+            return (self.iq_int, self.iq_fp)
+        return (self.iq_fp, self.iq_int)
+
+    def _try_take_fu(self, kind: FuKind) -> bool:
+        """Claim an issue slot; subclasses reroute memory ports here."""
+        return self.fus.try_take(kind)
+
+    def _issue(self) -> None:
+        self.fus.new_cycle()
+        budget = self.config.issue_width
+        deferred: list[tuple[IssueQueue, InFlight]] = []
+        for queue in self._issue_queues():
+            in_order = queue.policy == SchedulerPolicy.IN_ORDER
+            while budget > 0:
+                entry = queue.next_issuable(self.now)
+                if entry is None:
+                    break
+                if not self._try_take_fu(fu_kind_of(entry.instr.op)):
+                    if in_order:
+                        break
+                    queue.defer(entry)
+                    deferred.append((queue, entry))
+                    continue
+                queue.take(entry)
+                self._execute(entry)
+                budget -= 1
+        for queue, entry in deferred:
+            queue.wake(entry)
+
+    def _execute(self, entry: InFlight) -> None:
+        """Compute *entry*'s latency and schedule its completion."""
+        entry.issue_cycle = self.now
+        instr = entry.instr
+        if instr.is_load:
+            latency = self.lsq.load_latency_if_forwarded(entry)
+            if latency is None:
+                mem_latency, level = self.hierarchy.access(
+                    instr.addr, write=False, now=self.now
+                )
+                entry.mem_level = level
+                latency = self.latencies.agen + mem_latency
+        elif instr.is_store:
+            # Address generation; data is written at commit.
+            self.lsq.store_issued(entry)
+            latency = self.latencies.agen
+        else:
+            latency = self.latencies.latency_of(instr.op)
+        self.schedule_completion(entry, self.now + latency)
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        width = self.config.decode_width
+        for _ in range(width):
+            instr = self.fetch.peek()
+            if instr is None:
+                return
+            if len(self.rob) >= self.config.rob_size:
+                return
+            queue = self.iq_fp if instr.is_fp else self.iq_int
+            if not queue.has_space:
+                return
+            if instr.is_mem and not self.lsq.has_space:
+                return
+            self.fetch.pop()
+            entry = InFlight(instr, fetch_cycle=self.now)
+            entry.dispatch_cycle = self.now
+            if instr.seq == self.fetch.waiting_seq:
+                entry.mispredicted = True
+            self.regs.link_sources(entry)
+            self.regs.define(entry)
+            self.rob.append(entry)
+            queue.add(entry)
+            if instr.is_mem:
+                self.lsq.allocate()

@@ -1,0 +1,47 @@
+"""Branch predictors.
+
+The paper's Cache Processor uses the perceptron predictor of Jiménez & Lin
+(HPCA 2001, reference [18] of the paper); we implement it faithfully along
+with the classic gshare and bimodal predictors for ablation studies, and a
+static always-taken predictor as a lower bound.
+
+All predictors share the two-method interface of
+:class:`~repro.branch.base.BranchPredictor`: ``predict(pc) -> bool`` and
+``update(pc, taken)``.  Unconditional jumps are never passed to predictors.
+"""
+
+from repro.branch.base import BranchPredictor
+from repro.branch.perceptron import PerceptronPredictor
+from repro.branch.gshare import GSharePredictor
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.static import AlwaysTakenPredictor, NeverTakenPredictor
+
+_PREDICTORS = {
+    "perceptron": PerceptronPredictor,
+    "gshare": GSharePredictor,
+    "bimodal": BimodalPredictor,
+    "always-taken": AlwaysTakenPredictor,
+    "never-taken": NeverTakenPredictor,
+}
+
+
+def make_predictor(name: str, **kwargs) -> BranchPredictor:
+    """Instantiate a predictor by name (used by configs and the CLI)."""
+    try:
+        cls = _PREDICTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {name!r}; available: {sorted(_PREDICTORS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "BranchPredictor",
+    "PerceptronPredictor",
+    "GSharePredictor",
+    "BimodalPredictor",
+    "AlwaysTakenPredictor",
+    "NeverTakenPredictor",
+    "make_predictor",
+]

@@ -1,0 +1,61 @@
+"""Common branch-predictor interface and accuracy bookkeeping."""
+
+from __future__ import annotations
+
+import abc
+
+
+class BranchPredictor(abc.ABC):
+    """Direction predictor for conditional branches.
+
+    Subclasses implement :meth:`_predict` and :meth:`_train`; the public
+    methods add accuracy statistics.  Predictors are updated speculatively
+    at prediction time in our trace-driven cores (the trace is the correct
+    path, so the final outcome is already known at fetch); this matches the
+    usual trace-driven methodology.
+    """
+
+    def __init__(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the conditional branch at *pc*."""
+        return self._predict(pc)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the outcome; returns True when the prediction was correct.
+
+        Call once per dynamic branch, after :meth:`predict`.
+        """
+        predicted = self._predict(pc)
+        correct = predicted == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        self._train(pc, taken, predicted)
+        return correct
+
+    # ------------------------------------------------------------------
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _predict(self, pc: int) -> bool:
+        """Direction prediction without statistics side effects."""
+
+    @abc.abstractmethod
+    def _train(self, pc: int, taken: bool, predicted: bool) -> None:
+        """Update predictor state with the resolved outcome."""

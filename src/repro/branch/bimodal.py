@@ -1,0 +1,29 @@
+"""Bimodal predictor: per-pc 2-bit saturating counters, no history."""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchPredictor
+
+
+class BimodalPredictor(BranchPredictor):
+    """Smith-style bimodal table of 2-bit counters indexed by pc."""
+
+    def __init__(self, table_bits: int = 12) -> None:
+        super().__init__()
+        self.table_bits = table_bits
+        self._mask = (1 << table_bits) - 1
+        self._counters = [2] * (1 << table_bits)  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def _predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def _train(self, pc: int, taken: bool, predicted: bool) -> None:
+        idx = self._index(pc)
+        counter = self._counters[idx]
+        if taken:
+            self._counters[idx] = min(3, counter + 1)
+        else:
+            self._counters[idx] = max(0, counter - 1)

@@ -1,0 +1,40 @@
+"""Gshare predictor (McFarling): global history XOR pc indexing 2-bit counters."""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchPredictor
+
+
+class GSharePredictor(BranchPredictor):
+    """Classic gshare with 2-bit saturating counters.
+
+    Args:
+        table_bits: log2 of the pattern-history-table size.
+        history_length: Global history bits folded into the index.
+    """
+
+    def __init__(self, table_bits: int = 12, history_length: int = 12) -> None:
+        super().__init__()
+        if history_length > table_bits:
+            raise ValueError("history_length cannot exceed table_bits")
+        self.table_bits = table_bits
+        self.history_length = history_length
+        self._mask = (1 << table_bits) - 1
+        self._history = 0
+        self._history_mask = (1 << history_length) - 1
+        self._counters = [2] * (1 << table_bits)  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def _predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def _train(self, pc: int, taken: bool, predicted: bool) -> None:
+        idx = self._index(pc)
+        counter = self._counters[idx]
+        if taken:
+            self._counters[idx] = min(3, counter + 1)
+        else:
+            self._counters[idx] = max(0, counter - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask

@@ -1,0 +1,80 @@
+"""The perceptron branch predictor of Jiménez & Lin (HPCA 2001).
+
+This is the predictor the paper's Cache Processor uses (Table 2).  Each
+static branch hashes to a weight vector; the prediction is the sign of the
+dot product of the weights with the global history (plus a bias term).
+Training adjusts weights by ±1 when the prediction was wrong or the output
+magnitude is below the threshold θ = ⌊1.93·h + 14⌋, the value derived in
+the original paper.
+"""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchPredictor
+
+
+class PerceptronPredictor(BranchPredictor):
+    """Global-history perceptron predictor.
+
+    Args:
+        num_perceptrons: Size of the weight table (power of two).
+        history_length: Global history bits (h).
+        weight_bits: Saturation width of each weight (8 bits in the paper's
+            hardware budget).
+    """
+
+    def __init__(
+        self,
+        num_perceptrons: int = 256,
+        history_length: int = 24,
+        weight_bits: int = 8,
+    ) -> None:
+        super().__init__()
+        if num_perceptrons <= 0 or num_perceptrons & (num_perceptrons - 1):
+            raise ValueError("num_perceptrons must be a power of two")
+        if history_length <= 0:
+            raise ValueError("history_length must be positive")
+        self.num_perceptrons = num_perceptrons
+        self.history_length = history_length
+        self.threshold = int(1.93 * history_length + 14)
+        self._weight_max = (1 << (weight_bits - 1)) - 1
+        self._weight_min = -(1 << (weight_bits - 1))
+        # weights[i] = [bias, w_1 .. w_h]; history[j] in {-1, +1}
+        self._weights = [[0] * (history_length + 1) for _ in range(num_perceptrons)]
+        self._history = [1] * history_length
+
+    # ------------------------------------------------------------------
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.num_perceptrons - 1)
+
+    def _output(self, pc: int) -> int:
+        w = self._weights[self._index(pc)]
+        y = w[0]
+        hist = self._history
+        for i in range(self.history_length):
+            y += w[i + 1] * hist[i]
+        return y
+
+    def _predict(self, pc: int) -> bool:
+        return self._output(pc) >= 0
+
+    def _train(self, pc: int, taken: bool, predicted: bool) -> None:
+        y = self._output(pc)
+        t = 1 if taken else -1
+        if predicted != taken or abs(y) <= self.threshold:
+            w = self._weights[self._index(pc)]
+            w[0] = self._saturate(w[0] + t)
+            hist = self._history
+            for i in range(self.history_length):
+                w[i + 1] = self._saturate(w[i + 1] + t * hist[i])
+        # Shift the outcome into global history (newest at index 0).
+        self._history.insert(0, t)
+        self._history.pop()
+
+    def _saturate(self, value: int) -> int:
+        if value > self._weight_max:
+            return self._weight_max
+        if value < self._weight_min:
+            return self._weight_min
+        return value

@@ -1,0 +1,25 @@
+"""Static predictors: lower bounds and test fixtures."""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchPredictor
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predicts taken unconditionally."""
+
+    def _predict(self, pc: int) -> bool:
+        return True
+
+    def _train(self, pc: int, taken: bool, predicted: bool) -> None:
+        pass
+
+
+class NeverTakenPredictor(BranchPredictor):
+    """Predicts not-taken unconditionally."""
+
+    def _predict(self, pc: int) -> bool:
+        return False
+
+    def _train(self, pc: int, taken: bool, predicted: bool) -> None:
+        pass

@@ -1,0 +1,44 @@
+"""The Decoupled KILO-Instruction Processor (D-KIP) — the paper's contribution.
+
+The D-KIP splits execution by *execution locality* (Section 2 of the
+paper): instructions whose operands arrive quickly execute on a small
+out-of-order **Cache Processor**; instructions that depend on off-chip
+memory drain through FIFO **Low-Locality Instruction Buffers** into simple
+in-order **Memory Processors**, while an **Address Processor** owns the
+load/store queues.  The pieces map one-to-one onto the paper's Figures 5-8:
+
+===============================  =======================================
+Paper structure                   Module
+===============================  =======================================
+Cache Processor (R10000-like)     :mod:`repro.core.dkip` (front half)
+Aging-ROB + Analyze stage         :mod:`repro.core.aging_rob`
+Low-Locality Bit Vector + AWL     :mod:`repro.core.llbv`
+LLIB (FIFO, one per cluster)      :mod:`repro.core.llib`
+LLRF (8 single-ported banks)      :mod:`repro.core.llrf`
+Memory Processor (Future File)    :mod:`repro.core.memory_processor`
+Address Processor + value FIFOs   :mod:`repro.core.address_processor`
+Checkpoint stack + recovery       :mod:`repro.core.checkpoint`
+Full decoupled machine            :class:`repro.core.dkip.DkipProcessor`
+===============================  =======================================
+"""
+
+from repro.core.aging_rob import AgingRob
+from repro.core.llbv import LowLocalityBitVector
+from repro.core.llrf import BankedRegisterFile
+from repro.core.llib import LowLocalityInstructionBuffer
+from repro.core.memory_processor import MemoryProcessor
+from repro.core.address_processor import AddressProcessor
+from repro.core.checkpoint import Checkpoint, CheckpointStack
+from repro.core.dkip import DkipProcessor
+
+__all__ = [
+    "AgingRob",
+    "LowLocalityBitVector",
+    "BankedRegisterFile",
+    "LowLocalityInstructionBuffer",
+    "MemoryProcessor",
+    "AddressProcessor",
+    "Checkpoint",
+    "CheckpointStack",
+    "DkipProcessor",
+]

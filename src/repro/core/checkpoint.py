@@ -1,0 +1,128 @@
+"""Checkpoint stack and Architectural-Writers-Log based recovery.
+
+The Cache Processor recovers branches with its ROB/rename stack; events in
+the low-locality stream are covered by *selective checkpointing* (Section
+3.2, Figure 7 of the paper): at chosen points of the Analyze stage the
+READY architectural registers are copied into a free entry of the
+checkpoint stack, and every in-flight producer of a long-latency register
+(found through the AWL) is told to also write its result into that entry.
+MP → checkpoint → CP is the only backward communication path in the
+machine.
+
+The model takes a checkpoint when a low-locality slice begins (first LLIB
+insertion with no live checkpoint) and then every ``interval`` insertions,
+guaranteeing the paper's invariant of "at least one checkpoint in flight
+in the LLIB before wakeup".  A checkpoint is released once every
+instruction assigned to it has written back.  Recovery — triggered by a
+mispredicted low-locality branch — squashes younger checkpoints and clears
+the LLBV; the timing cost is the ``recovery_penalty`` the processor adds
+to the fetch redirect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Checkpoint:
+    """One entry of the checkpointing stack."""
+
+    ident: int
+    taken_at_seq: int
+    taken_at_cycle: int
+    #: Long-latency registers whose producers must write into this entry
+    #: (the AWL contents at take time).
+    tracked_registers: tuple[int, ...] = ()
+    pending: int = 0
+    completed: int = 0
+
+    @property
+    def drained(self) -> bool:
+        return self.completed >= self.pending
+
+
+class CheckpointStack:
+    """Bounded stack of selective checkpoints."""
+
+    def __init__(self, capacity: int = 8, interval: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("checkpoint stack capacity must be positive")
+        self.capacity = capacity
+        self.interval = interval
+        self._entries: list[Checkpoint] = []
+        self._next_ident = 0
+        self._since_last = 0
+        self.taken = 0
+        self.released = 0
+        self.recoveries = 0
+        self.overflow_skips = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def live(self) -> bool:
+        return bool(self._entries)
+
+    def should_take(self) -> bool:
+        """Policy: checkpoint at slice start and every ``interval`` inserts."""
+        return not self._entries or self._since_last >= self.interval
+
+    def take(self, seq: int, now: int, tracked_registers: tuple[int, ...] = ()) -> Checkpoint | None:
+        """Copy architectural state into a new stack entry.
+
+        Returns None when the stack is full; the caller keeps assigning
+        work to the newest existing checkpoint (coarser recovery, never
+        incorrect, matching the stack's infrequent-access design).
+        """
+        if len(self._entries) >= self.capacity:
+            self.overflow_skips += 1
+            return None
+        checkpoint = Checkpoint(
+            ident=self._next_ident,
+            taken_at_seq=seq,
+            taken_at_cycle=now,
+            tracked_registers=tracked_registers,
+        )
+        self._next_ident += 1
+        self._entries.append(checkpoint)
+        self._since_last = 0
+        self.taken += 1
+        return checkpoint
+
+    def assign(self) -> Checkpoint | None:
+        """Charge one LLIB insertion to the newest live checkpoint."""
+        self._since_last += 1
+        if not self._entries:
+            return None
+        checkpoint = self._entries[-1]
+        checkpoint.pending += 1
+        return checkpoint
+
+    def writeback(self, checkpoint: Checkpoint | None) -> None:
+        """An assigned instruction wrote its result into *checkpoint*."""
+        if checkpoint is not None:
+            checkpoint.completed += 1
+        self._release_drained()
+
+    def _release_drained(self) -> None:
+        while self._entries and self._entries[0].drained and self._entries[0].pending:
+            self._entries.pop(0)
+            self.released += 1
+
+    # ------------------------------------------------------------------
+
+    def recover(self, seq: int) -> int:
+        """Roll back to the newest checkpoint at or before *seq*.
+
+        Returns the number of squashed (younger) checkpoints.
+        """
+        squashed = 0
+        while self._entries and self._entries[-1].taken_at_seq > seq:
+            self._entries.pop()
+            squashed += 1
+        self.recoveries += 1
+        return squashed

@@ -1,0 +1,89 @@
+"""Low-Locality Bit Vector (LLBV) and Architectural Writers Log (AWL).
+
+The LLBV is the register-granularity classification state of the D-KIP
+(Section 3.2): bit *r* is set when the current value of architectural
+register *r* is produced by a long-latency slice.  The Analyze stage reads
+it to classify instructions and writes it when it discovers long-latency
+loads or inserts producers into the LLIB.
+
+The paper's clearing rules are deliberately conservative and we follow
+them exactly:
+
+* a *short-latency* instruction redefining the register clears the bit
+  ("Short-latency operations ... will redefine registers that were marked
+  as long-latency.  After completion, the corresponding bit in the LLBV
+  will be cleared");
+* checkpoint recovery clears the whole vector ("Checkpoint recovery
+  restores the full state to the cache processor.  This operation clears
+  the LLBV completely");
+* nothing else does — in particular, a Memory-Processor writeback does
+  *not* clear the bit, because the MP's results live in the checkpoint
+  stack, not the CP's register file (back-communication happens only via
+  MP → checkpoint → CP).
+
+The AWL is the small RAM the paper keeps next to the LLBV: for every set
+bit it records who produces the value (an LLIB position or a checkpoint to
+copy from), which checkpoint creation consults.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import NUM_REGS
+from repro.pipeline.entry import InFlight
+
+
+class LowLocalityBitVector:
+    """Per-register long-latency marking with its writers log."""
+
+    def __init__(self) -> None:
+        self._producers: list[InFlight | None] = [None] * NUM_REGS
+        self._set_bits = 0
+        self.marks = 0
+        self.short_clears = 0
+        self.recovery_clears = 0
+
+    # ------------------------------------------------------------------
+
+    def is_long(self, reg: int) -> bool:
+        return self._producers[reg] is not None
+
+    def producer(self, reg: int) -> InFlight | None:
+        """AWL lookup: the entry that will produce register *reg*."""
+        return self._producers[reg]
+
+    def any_long_source(self, entry: InFlight) -> bool:
+        """Analyze-stage test: does *entry* read a long-latency register?"""
+        producers = self._producers
+        for src in entry.instr.live_srcs():
+            if producers[src] is not None:
+                return True
+        return False
+
+    @property
+    def set_count(self) -> int:
+        return self._set_bits
+
+    # ------------------------------------------------------------------
+
+    def mark(self, reg: int, producer: InFlight) -> None:
+        """Set bit *reg*; the AWL records *producer* as the writer."""
+        if self._producers[reg] is None:
+            self._set_bits += 1
+        self._producers[reg] = producer
+        self.marks += 1
+
+    def clear_short_definition(self, reg: int) -> None:
+        """A retired short-latency instruction redefined *reg*."""
+        if self._producers[reg] is not None:
+            self._producers[reg] = None
+            self._set_bits -= 1
+            self.short_clears += 1
+
+    def clear_all(self) -> None:
+        """Checkpoint recovery: restore the ARF, clear every bit."""
+        if self._set_bits:
+            producers = self._producers
+            for i in range(NUM_REGS):
+                producers[i] = None
+            self._set_bits = 0
+        self.recovery_clears += 1

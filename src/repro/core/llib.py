@@ -1,0 +1,139 @@
+"""Low-Locality Instruction Buffer: the FIFO at the heart of the D-KIP.
+
+The LLIB replaces the large CAM window of conventional KILO-instruction
+proposals with a plain FIFO ("Large Storage is Important but a Large CAM
+is Not").  Instructions classified low-locality by Analyze are inserted at
+the tail together with their single READY operand (captured in the LLRF);
+extraction removes up to four per cycle from the head into the Memory
+Processor.
+
+The head may only leave once the long-latency *load value* it depends on
+is available in the Address Processor's value FIFO ("insertion into the
+Memory Processor happens when the oldest instruction in the LLIB depends
+on a long-latency load that has completed; for other instructions
+insertion is performed without additional checks").  Dependences on other
+LLIB instructions need no check — FIFO order guarantees the producer was
+extracted earlier and the Memory Processor's reservation stations will
+supply the value.
+
+There is one LLIB per cluster (integer and floating point); the paper's
+Figures 13/14 plot the per-benchmark occupancy high-water marks this class
+records.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.llrf import BankedRegisterFile
+from repro.pipeline.entry import InFlight
+
+
+class LowLocalityInstructionBuffer:
+    """One FIFO instruction buffer plus its associated LLRF."""
+
+    def __init__(self, name: str, capacity: int, llrf: BankedRegisterFile) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.llrf = llrf
+        self._entries: deque[InFlight] = deque()
+        self.insertions = 0
+        self.extractions = 0
+        self.max_occupancy = 0
+        self.full_stalls = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def has_space(self) -> bool:
+        return len(self._entries) < self.capacity
+
+    # ------------------------------------------------------------------
+
+    def insert(self, entry: InFlight, has_ready_operand: bool) -> bool:
+        """Insert at the tail; captures the READY operand into the LLRF.
+
+        Returns False — and leaves all state untouched — when either the
+        FIFO or (if an operand must be captured) the LLRF is out of space;
+        the Analyze stage then stalls, which is the LLIB fill-up stall the
+        paper observes on four SpecINT benchmarks.
+        """
+        if len(self._entries) >= self.capacity:
+            self.full_stalls += 1
+            return False
+        bank = -1
+        if has_ready_operand:
+            allocated = self.llrf.allocate()
+            if allocated is None:
+                self.full_stalls += 1
+                return False
+            bank = allocated
+        entry.ready_operand_bank = bank
+        entry.where = "llib"
+        entry.owner = self
+        self._entries.append(entry)
+        self.insertions += 1
+        if len(self._entries) > self.max_occupancy:
+            self.max_occupancy = len(self._entries)
+        return True
+
+    def wake(self, entry: InFlight) -> None:
+        """Wakeup sink: the LLIB is polled at the head, nothing to do."""
+
+    # ------------------------------------------------------------------
+
+    def head(self) -> InFlight | None:
+        return self._entries[0] if self._entries else None
+
+    def head_extractable(self) -> bool:
+        """May the head move to the Memory Processor this cycle?
+
+        Blocked while a long-latency *load* the head sources has not yet
+        delivered its value to the Address Processor's FIFO — regardless of
+        whether that load was issued from the Cache Processor or had its
+        address computed in the Memory Processor, because all memory
+        accesses execute in the AP ("when the depending instructions arrive
+        at the head of the LLIB and the load value is available, both the
+        instruction and the value are inserted into the Memory Processor").
+
+        Non-load producers need no check: FIFO order guarantees they were
+        extracted earlier, and being short-latency ALU/FP operations they
+        resolve within a few cycles in the MP's reservation stations.
+        This is the property that keeps the in-order MP free of
+        head-of-line blocking on memory latency.
+        """
+        if not self._entries:
+            return False
+        head = self._entries[0]
+        for producer in head.sources:
+            if not producer.executed and producer.instr.is_load:
+                return False
+        return True
+
+    def extract(self) -> InFlight:
+        """Remove the head (caller verified :meth:`head_extractable`) and
+        release its LLRF operand register."""
+        entry = self._entries.popleft()
+        if entry.ready_operand_bank >= 0:
+            self.llrf.release(entry.ready_operand_bank)
+            entry.ready_operand_bank = -1
+        self.extractions += 1
+        return entry
+
+    def drain_younger_than(self, seq: int) -> list[InFlight]:
+        """Checkpoint recovery: remove every entry younger than *seq*."""
+        kept: deque[InFlight] = deque()
+        dropped: list[InFlight] = []
+        for entry in self._entries:
+            if entry.seq > seq:
+                if entry.ready_operand_bank >= 0:
+                    self.llrf.release(entry.ready_operand_bank)
+                    entry.ready_operand_bank = -1
+                dropped.append(entry)
+            else:
+                kept.append(entry)
+        self._entries = kept
+        return dropped

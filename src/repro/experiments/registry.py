@@ -1,0 +1,46 @@
+"""Experiment registry: the CLI and the benchmark harness look up here."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    fig01_02_window,
+    fig03_locality,
+    fig09_comparison,
+    fig10_scheduling,
+    fig11_12_cache,
+    fig13_14_occupancy,
+    table1,
+)
+from repro.experiments.common import ExperimentResult, Scale
+
+#: name -> zero-config callable(scale) regenerating that table/figure.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "fig1": lambda scale=Scale.DEFAULT: fig01_02_window.run(scale, suite="int"),
+    "fig2": lambda scale=Scale.DEFAULT: fig01_02_window.run(scale, suite="fp"),
+    "fig3": fig03_locality.run,
+    "fig9": fig09_comparison.run,
+    "fig10": lambda scale=Scale.DEFAULT: fig10_scheduling.run(scale, suite="fp"),
+    "fig10int": lambda scale=Scale.DEFAULT: fig10_scheduling.run(scale, suite="int"),
+    "fig11": lambda scale=Scale.DEFAULT: fig11_12_cache.run(scale, suite="int"),
+    "fig12": lambda scale=Scale.DEFAULT: fig11_12_cache.run(scale, suite="fp"),
+    "fig13": lambda scale=Scale.DEFAULT: fig13_14_occupancy.run(scale, suite="int"),
+    "fig14": lambda scale=Scale.DEFAULT: fig13_14_occupancy.run(scale, suite="fp"),
+    # Ablations (not paper figures; design-choice studies from DESIGN.md).
+    "ablation-timer": ablations.run_timer,
+    "ablation-llib": ablations.run_llib_size,
+    "ablation-predictor": ablations.run_predictor,
+    "ablation-runahead": ablations.run_runahead,
+}
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from None

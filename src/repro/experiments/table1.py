@@ -1,0 +1,53 @@
+"""Table 1: the six memory subsystems of the memory-wall characterization.
+
+A configuration table rather than an experiment; the harness verifies each
+configuration builds into a working hierarchy and reports its effective
+latencies, which is what Figures 1 and 2 sweep over.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Scale, Stopwatch, scale_of
+from repro.memory import MemoryHierarchy, TABLE1_CONFIGS
+
+
+def run(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
+    scale = scale_of(scale)
+    result = ExperimentResult(
+        name="table1",
+        title="Memory configurations for quantifying the memory wall",
+        headers=[
+            "config",
+            "L1 time",
+            "L1 size",
+            "L2 time",
+            "L2 size",
+            "memory time",
+        ],
+        scale=scale,
+    )
+    with Stopwatch(result):
+        for name, config in TABLE1_CONFIGS.items():
+            hierarchy = MemoryHierarchy(config)  # validates the build
+            result.rows.append(
+                [
+                    name,
+                    config.l1_latency,
+                    _size(config.l1_size),
+                    config.l2_latency if config.l2_latency is not None else "-",
+                    _size(config.l2_size) if config.l2_latency is not None else "-",
+                    config.mem_latency if config.mem_latency is not None else "-",
+                ]
+            )
+            result.notes.append(f"{name}: {hierarchy.describe()}")
+    return result
+
+
+def _size(size: int | None) -> str:
+    if size is None:
+        return "inf"
+    return f"{size // 1024}KB"
+
+
+if __name__ == "__main__":
+    print(run().render())

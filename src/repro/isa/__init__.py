@@ -1,0 +1,68 @@
+"""Alpha-like instruction set model used by every simulator in this package.
+
+The paper simulates Alpha binaries through SimpleScalar.  We reproduce the
+properties of that ISA which the D-KIP design depends on:
+
+* at most two source registers per instruction (so an instruction entering
+  the LLIB never has more than one READY operand — Section 3.2 of the paper);
+* separate integer and floating-point register files (32 + 32, with the
+  conventional zero registers ``r31`` and ``f31``);
+* a small set of operation classes with fixed execution latencies, with
+  memory operations deriving their latency from the cache hierarchy.
+"""
+
+from repro.isa.opcodes import (
+    OpClass,
+    BRANCH_OPS,
+    FP_OPS,
+    INT_OPS,
+    MEM_OPS,
+    is_branch_op,
+    is_load_op,
+    is_mem_op,
+    is_store_op,
+)
+from repro.isa.registers import (
+    FP_BASE,
+    FP_ZERO,
+    INT_ZERO,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_REGS,
+    RegisterName,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    is_zero_reg,
+    reg_name,
+)
+from repro.isa.instructions import Instruction, InstructionBuilder
+from repro.isa.latencies import LatencyTable, DEFAULT_LATENCIES
+
+__all__ = [
+    "OpClass",
+    "BRANCH_OPS",
+    "FP_OPS",
+    "INT_OPS",
+    "MEM_OPS",
+    "is_branch_op",
+    "is_load_op",
+    "is_mem_op",
+    "is_store_op",
+    "FP_BASE",
+    "FP_ZERO",
+    "INT_ZERO",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "NUM_REGS",
+    "RegisterName",
+    "fp_reg",
+    "int_reg",
+    "is_fp_reg",
+    "is_zero_reg",
+    "reg_name",
+    "Instruction",
+    "InstructionBuilder",
+    "LatencyTable",
+    "DEFAULT_LATENCIES",
+]

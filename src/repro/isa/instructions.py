@@ -1,0 +1,178 @@
+"""The dynamic instruction record flowing through every simulator.
+
+An :class:`Instruction` is one *dynamic* instruction of a trace: it carries
+its sequence number, program counter, operation class, architectural
+registers, and — because our simulators are trace driven — the resolved
+memory address and branch outcome.  Timing models never mutate instructions;
+all per-core state lives in the cores' own in-flight records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import OpClass, is_branch_op, is_load_op, is_mem_op, is_store_op
+from repro.isa.registers import (
+    NUM_REGS,
+    RegisterName,
+    is_fp_reg,
+    is_zero_reg,
+    reg_name,
+)
+
+
+@dataclass(slots=True, frozen=True)
+class Instruction:
+    """One dynamic instruction.
+
+    Attributes:
+        seq: Position in the dynamic instruction stream (0-based).
+        pc: Program counter of the static instruction (byte address).
+        op: Operation class (decides functional unit and latency).
+        dest: Destination register id, or ``None`` when the instruction does
+            not produce a register value (stores, branches, nops).
+        srcs: Source register ids (0, 1 or 2 entries; zero registers are
+            allowed and treated as always ready).
+        addr: Effective memory address for loads/stores, else ``None``.
+        size: Memory access size in bytes (loads/stores only).
+        taken: Branch outcome for control-flow instructions, else ``None``.
+        target: Branch/jump target pc, else ``None``.
+    """
+
+    seq: int
+    pc: int
+    op: OpClass
+    dest: RegisterName | None = None
+    srcs: tuple[RegisterName, ...] = ()
+    addr: int | None = None
+    size: int = 8
+    taken: bool | None = None
+    target: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.dest is not None and not 0 <= self.dest < NUM_REGS:
+            raise ValueError(f"dest register out of range: {self.dest}")
+        if len(self.srcs) > 2:
+            raise ValueError("Alpha-like ISA allows at most 2 source registers")
+        for src in self.srcs:
+            if not 0 <= src < NUM_REGS:
+                raise ValueError(f"source register out of range: {src}")
+        if is_mem_op(self.op) and self.addr is None:
+            raise ValueError(f"memory instruction without address: {self}")
+        if is_branch_op(self.op) and self.taken is None:
+            raise ValueError(f"branch instruction without outcome: {self}")
+
+    # -- classification helpers (hot paths use these constantly) ----------
+
+    @property
+    def is_load(self) -> bool:
+        return is_load_op(self.op)
+
+    @property
+    def is_store(self) -> bool:
+        return is_store_op(self.op)
+
+    @property
+    def is_mem(self) -> bool:
+        return is_mem_op(self.op)
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch_op(self.op)
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.op == OpClass.BRANCH
+
+    @property
+    def is_fp(self) -> bool:
+        """True when the instruction executes on the FP cluster.
+
+        The D-KIP routes instructions to the integer or floating-point LLIB
+        based on this property (Section 3.2: "There is one LLIB for floating
+        point and another LLIB for integer instructions").
+        """
+        if self.dest is not None and is_fp_reg(self.dest):
+            return True
+        return self.op in (
+            OpClass.FP_ADD,
+            OpClass.FP_MUL,
+            OpClass.FP_DIV,
+            OpClass.FP_LOAD,
+            OpClass.FP_STORE,
+        )
+
+    def live_srcs(self) -> tuple[RegisterName, ...]:
+        """Source registers excluding the hardwired zero registers."""
+        return tuple(s for s in self.srcs if not is_zero_reg(s))
+
+    def disassemble(self) -> str:
+        """Render a human-readable one-line disassembly."""
+        parts = [f"{self.seq:>8d}", f"0x{self.pc:08x}", f"{self.op.short_name:<5s}"]
+        operands = []
+        if self.dest is not None:
+            operands.append(reg_name(self.dest))
+        operands.extend(reg_name(s) for s in self.srcs)
+        parts.append(", ".join(operands))
+        if self.addr is not None:
+            parts.append(f"[0x{self.addr:x}]")
+        if self.taken is not None:
+            parts.append("T" if self.taken else "NT")
+        return " ".join(p for p in parts if p)
+
+
+class InstructionBuilder:
+    """Incremental builder assigning sequence numbers and pcs.
+
+    Convenience for tests and small hand-written traces; the workload DSL in
+    :mod:`repro.trace.kernel` builds on richer machinery.
+    """
+
+    def __init__(self, start_pc: int = 0x1000) -> None:
+        self._seq = 0
+        self._pc = start_pc
+
+    @property
+    def next_seq(self) -> int:
+        return self._seq
+
+    def emit(
+        self,
+        op: OpClass,
+        dest: RegisterName | None = None,
+        srcs: tuple[RegisterName, ...] = (),
+        addr: int | None = None,
+        size: int = 8,
+        taken: bool | None = None,
+        target: int | None = None,
+        pc: int | None = None,
+    ) -> Instruction:
+        """Create the next instruction in sequence."""
+        if pc is None:
+            pc = self._pc
+        instr = Instruction(
+            seq=self._seq,
+            pc=pc,
+            op=op,
+            dest=dest,
+            srcs=srcs,
+            addr=addr,
+            size=size,
+            taken=taken,
+            target=target,
+        )
+        self._seq += 1
+        self._pc = pc + 4
+        return instr
+
+    def alu(self, dest: RegisterName, *srcs: RegisterName) -> Instruction:
+        return self.emit(OpClass.INT_ALU, dest=dest, srcs=tuple(srcs))
+
+    def load(self, dest: RegisterName, base: RegisterName, addr: int) -> Instruction:
+        return self.emit(OpClass.LOAD, dest=dest, srcs=(base,), addr=addr)
+
+    def store(self, src: RegisterName, base: RegisterName, addr: int) -> Instruction:
+        return self.emit(OpClass.STORE, srcs=(src, base), addr=addr)
+
+    def branch(self, src: RegisterName, taken: bool, target: int = 0) -> Instruction:
+        return self.emit(OpClass.BRANCH, srcs=(src,), taken=taken, target=target)

@@ -1,0 +1,99 @@
+"""Operation classes of the Alpha-like ISA.
+
+Rather than modelling every Alpha mnemonic, the simulators work with
+operation *classes*, mirroring how SimpleScalar's timing model groups
+opcodes by functional unit and latency.  The classes below cover all the
+functional units listed in Table 2 of the paper (ALUs, integer multiplier,
+FP adders, FP multiplier/divider, memory ports, branch unit).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Operation class, the unit of timing in all simulators."""
+
+    INT_ALU = 0       # add/sub/logic/shift/compare
+    INT_MUL = 1       # integer multiply
+    FP_ADD = 2        # FP add/sub/convert
+    FP_MUL = 3        # FP multiply
+    FP_DIV = 4        # FP divide / sqrt
+    LOAD = 5          # integer load
+    STORE = 6         # integer store
+    FP_LOAD = 7       # floating-point load
+    FP_STORE = 8      # floating-point store
+    BRANCH = 9        # conditional branch
+    JUMP = 10         # unconditional jump / call / return
+    NOP = 11          # no-operation (trace padding)
+
+    @property
+    def short_name(self) -> str:
+        return _SHORT_NAMES[self]
+
+
+_SHORT_NAMES = {
+    OpClass.INT_ALU: "alu",
+    OpClass.INT_MUL: "mul",
+    OpClass.FP_ADD: "fadd",
+    OpClass.FP_MUL: "fmul",
+    OpClass.FP_DIV: "fdiv",
+    OpClass.LOAD: "ld",
+    OpClass.STORE: "st",
+    OpClass.FP_LOAD: "fld",
+    OpClass.FP_STORE: "fst",
+    OpClass.BRANCH: "br",
+    OpClass.JUMP: "jmp",
+    OpClass.NOP: "nop",
+}
+
+#: Classes that read memory.
+LOAD_OPS = frozenset({OpClass.LOAD, OpClass.FP_LOAD})
+
+#: Classes that write memory.
+STORE_OPS = frozenset({OpClass.STORE, OpClass.FP_STORE})
+
+#: All memory operation classes.
+MEM_OPS = LOAD_OPS | STORE_OPS
+
+#: Control-flow classes.
+BRANCH_OPS = frozenset({OpClass.BRANCH, OpClass.JUMP})
+
+#: Classes executed on the floating-point cluster.
+FP_OPS = frozenset(
+    {OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV, OpClass.FP_LOAD, OpClass.FP_STORE}
+)
+
+#: Classes executed on the integer cluster.
+INT_OPS = frozenset(
+    {
+        OpClass.INT_ALU,
+        OpClass.INT_MUL,
+        OpClass.LOAD,
+        OpClass.STORE,
+        OpClass.BRANCH,
+        OpClass.JUMP,
+        OpClass.NOP,
+    }
+)
+
+
+def is_load_op(op: OpClass) -> bool:
+    """Return True when *op* reads memory."""
+    return op in LOAD_OPS
+
+
+def is_store_op(op: OpClass) -> bool:
+    """Return True when *op* writes memory."""
+    return op in STORE_OPS
+
+
+def is_mem_op(op: OpClass) -> bool:
+    """Return True when *op* accesses memory."""
+    return op in MEM_OPS
+
+
+def is_branch_op(op: OpClass) -> bool:
+    """Return True when *op* is control flow."""
+    return op in BRANCH_OPS

@@ -1,0 +1,57 @@
+"""Register model: 32 integer + 32 floating-point architectural registers.
+
+Registers are identified by small integers: ``0..31`` are the integer
+registers ``r0..r31`` and ``32..63`` are the floating-point registers
+``f0..f31``.  Following the Alpha convention, ``r31`` and ``f31`` read as
+zero and writes to them are discarded; the simulators treat them as always
+READY and never allocate storage for them.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: First identifier of the floating-point register file.
+FP_BASE = NUM_INT_REGS
+
+#: The architectural zero registers.
+INT_ZERO = NUM_INT_REGS - 1          # r31
+FP_ZERO = FP_BASE + NUM_FP_REGS - 1  # f31
+
+#: Alias used in type annotations for readability.
+RegisterName = int
+
+
+def int_reg(index: int) -> RegisterName:
+    """Return the register id of integer register ``r<index>``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> RegisterName:
+    """Return the register id of floating-point register ``f<index>``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_BASE + index
+
+
+def is_fp_reg(reg: RegisterName) -> bool:
+    """Return True when *reg* belongs to the floating-point file."""
+    return reg >= FP_BASE
+
+
+def is_zero_reg(reg: RegisterName) -> bool:
+    """Return True for the hardwired zero registers (r31 / f31)."""
+    return reg == INT_ZERO or reg == FP_ZERO
+
+
+def reg_name(reg: RegisterName) -> str:
+    """Human-readable register name (``r5``, ``f12``)."""
+    if not 0 <= reg < NUM_REGS:
+        raise ValueError(f"register id out of range: {reg}")
+    if reg >= FP_BASE:
+        return f"f{reg - FP_BASE}"
+    return f"r{reg}"

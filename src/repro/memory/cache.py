@@ -1,0 +1,170 @@
+"""Set-associative LRU cache and main-memory models.
+
+These models answer one question per access — "how many cycles until the
+value is usable?" — and keep hit/miss statistics.  Replacement is true LRU
+within each set.  A cache with ``size=None`` is infinite (every line hits
+after the first touch), which Table 1 of the paper uses for its perfect-L1
+and perfect-L2 configurations.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+
+
+class AccessLevel(enum.IntEnum):
+    """Hierarchy level that satisfied an access."""
+
+    L1 = 1
+    L2 = 2
+    MEMORY = 3
+
+
+class MainMemory:
+    """Flat main memory with a fixed access latency."""
+
+    def __init__(self, latency: int) -> None:
+        if latency <= 0:
+            raise ValueError(f"memory latency must be positive: {latency}")
+        self.latency = latency
+        self.accesses = 0
+
+    def access(self) -> int:
+        self.accesses += 1
+        return self.latency
+
+
+class Cache:
+    """One level of set-associative, LRU, write-allocate cache.
+
+    Args:
+        name: Label used in statistics output (``"L1"``, ``"L2"``).
+        size: Capacity in bytes, or ``None`` for an infinite cache.
+        assoc: Associativity (ignored for infinite caches).
+        line_size: Line size in bytes (power of two).
+        latency: Total load-to-use latency when the access hits here.
+
+    The cache tracks *outstanding fills*: when a miss is initiated at cycle
+    ``c`` with total latency ``m``, the line is recorded as arriving at
+    ``c + m``.  A later access to the same line before it arrives pays only
+    the remaining time.  This gives correct overlap behaviour for streaming
+    access patterns (several words per line) and for simultaneous misses to
+    the same line from the two D-KIP processors.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int | None,
+        assoc: int,
+        line_size: int,
+        latency: int,
+    ) -> None:
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ValueError(f"line size must be a power of two: {line_size}")
+        if latency <= 0:
+            raise ValueError(f"cache latency must be positive: {latency}")
+        if size is not None:
+            if size <= 0 or size % (line_size * assoc):
+                raise ValueError(
+                    f"cache size {size} not divisible into {assoc}-way sets "
+                    f"of {line_size}-byte lines"
+                )
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.latency = latency
+        self._line_bits = line_size.bit_length() - 1
+        if size is None:
+            self._num_sets = 1
+            self._infinite_lines: set[int] = set()
+            self._sets: list[OrderedDict[int, None]] = []
+        else:
+            self._num_sets = size // (line_size * assoc)
+            self._infinite_lines = set()
+            self._sets = [OrderedDict() for _ in range(self._num_sets)]
+        self._fills: dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_bits
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, line: int) -> bool:
+        """Check presence and update LRU state; counts as an access."""
+        if self.size is None:
+            if line in self._infinite_lines:
+                self.hits += 1
+                return True
+            self.misses += 1
+            return False
+        s = self._sets[line % self._num_sets]
+        if line in s:
+            s.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def probe(self, line: int) -> bool:
+        """Presence check without statistics or LRU update."""
+        if self.size is None:
+            return line in self._infinite_lines
+        return line in self._sets[line % self._num_sets]
+
+    def fill(self, line: int) -> None:
+        """Install *line*, evicting the LRU line of its set if needed."""
+        if self.size is None:
+            self._infinite_lines.add(line)
+            return
+        s = self._sets[line % self._num_sets]
+        if line in s:
+            s.move_to_end(line)
+            return
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[line] = None
+
+    # ------------------------------------------------------------------
+    # Outstanding-fill bookkeeping (MSHR-like overlap behaviour)
+    # ------------------------------------------------------------------
+
+    def pending_fill(self, line: int, now: int) -> int | None:
+        """Cycles remaining until an in-flight fill of *line* completes.
+
+        Returns ``None`` when no fill for the line is outstanding.
+        """
+        ready = self._fills.get(line)
+        if ready is None:
+            return None
+        if ready <= now:
+            del self._fills[line]
+            return None
+        return ready - now
+
+    def record_fill(self, line: int, ready_cycle: int) -> None:
+        self._fills[line] = ready_cycle
+
+    # ------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        size = "inf" if self.size is None else f"{self.size // 1024}KB"
+        return f"Cache({self.name}, {size}, {self.assoc}-way, lat={self.latency})"

@@ -1,0 +1,130 @@
+"""Assembled cache hierarchy used by every core model.
+
+One :class:`MemoryHierarchy` exists per simulated machine.  Its single hot
+method, :meth:`MemoryHierarchy.access`, resolves an address to the
+(latency, level) pair the pipeline needs:
+
+* latency — cycles until the loaded value is usable;
+* level — which level satisfied it, used by the D-KIP's Analyze stage to
+  classify loads as short latency (L1/L2) or long latency (memory), and by
+  the statistics that split execution locality.
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import AccessLevel, Cache, MainMemory
+from repro.memory.configs import MemoryConfig
+
+
+class MemoryHierarchy:
+    """L1 + optional L2 + main memory, built from a :class:`MemoryConfig`."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self.line_size = config.line_size
+        self._line_bits = config.line_size.bit_length() - 1
+        self.l1 = Cache(
+            "L1", config.l1_size, config.l1_assoc, config.line_size, config.l1_latency
+        )
+        if config.l2_latency is None:
+            self.l2: Cache | None = None
+        else:
+            self.l2 = Cache(
+                "L2",
+                config.l2_size,
+                config.l2_assoc,
+                config.line_size,
+                config.l2_latency,
+            )
+        self.memory = (
+            MainMemory(config.mem_latency) if config.mem_latency is not None else None
+        )
+        if self.l2 is None and self.memory is not None:
+            raise ValueError("a hierarchy with main memory requires an L2 cache")
+
+    # ------------------------------------------------------------------
+
+    def access(self, addr: int, write: bool = False, now: int = 0) -> tuple[int, AccessLevel]:
+        """Access *addr*; return ``(latency, level)``.
+
+        Writes allocate like reads (write-allocate policy); their latency is
+        reported identically, and it is up to the pipeline model to decide
+        whether store latency is visible (stores retire from the LSQ without
+        stalling commit in all our cores).
+        """
+        line = addr >> self._line_bits
+        if self.l1.lookup(line):
+            # Present, but possibly still being filled from memory: a
+            # second load to a missing line overlaps with the outstanding
+            # fill instead of paying a fresh full latency (MSHR behaviour —
+            # the source of memory-level parallelism on streaming code).
+            pending = self.l1.pending_fill(line, now)
+            if pending is None:
+                return self.l1.latency, AccessLevel.L1
+            return self.l1.latency + pending, AccessLevel.MEMORY
+
+        if self.l2 is None:
+            # Infinite L1 configuration: first touch costs an L1 fill only.
+            self.l1.fill(line)
+            return self.l1.latency, AccessLevel.L1
+
+        if self.l2.lookup(line):
+            self.l1.fill(line)
+            pending = self.l2.pending_fill(line, now)
+            if pending is None:
+                return self.l2.latency, AccessLevel.L2
+            return self.l2.latency + pending, AccessLevel.MEMORY
+
+        if self.memory is None:
+            # Infinite L2 configuration (L2-11 / L2-21 in Table 1).
+            self.l2.fill(line)
+            self.l1.fill(line)
+            return self.l2.latency, AccessLevel.L2
+
+        latency = self.memory.access()
+        self.l2.fill(line)
+        self.l1.fill(line)
+        ready = now + latency
+        self.l2.record_fill(line, ready)
+        self.l1.record_fill(line, ready)
+        return latency, AccessLevel.MEMORY
+
+    # ------------------------------------------------------------------
+
+    def touch(self, addr: int, write: bool = False) -> None:
+        """Functional (untimed) access, used for cache warm-up."""
+        line = addr >> self._line_bits
+        if self.l1.probe(line):
+            self.l1.fill(line)  # refresh LRU position
+            return
+        if self.l2 is not None:
+            self.l2.fill(line)
+        self.l1.fill(line)
+
+    def is_long_latency(self, level: AccessLevel) -> bool:
+        """The D-KIP classification: off-chip accesses are long latency."""
+        return level == AccessLevel.MEMORY
+
+    def reset_stats(self) -> None:
+        self.l1.reset_stats()
+        if self.l2 is not None:
+            self.l2.reset_stats()
+        if self.memory is not None:
+            self.memory.accesses = 0
+
+    def describe(self) -> str:
+        """One-line description matching Table 1's row format."""
+        parts = [f"L1 {self._fmt_size(self.l1.size)}@{self.l1.latency}cy"]
+        if self.l2 is not None:
+            parts.append(f"L2 {self._fmt_size(self.l2.size)}@{self.l2.latency}cy")
+        if self.memory is not None:
+            parts.append(f"MEM@{self.memory.latency}cy")
+        return " / ".join(parts)
+
+    @staticmethod
+    def _fmt_size(size: int | None) -> str:
+        if size is None:
+            return "inf"
+        if size >= 1 << 20:
+            return f"{size >> 20}MB"
+        return f"{size >> 10}KB"

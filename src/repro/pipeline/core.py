@@ -1,0 +1,103 @@
+"""Cycle-driver base class shared by every core model.
+
+The driver owns simulated time, the completion event wheel and the wakeup
+protocol.  Subclasses implement :meth:`CycleCore.step` (one cycle of their
+pipeline) and may override :meth:`CycleCore.on_complete` (called for every
+instruction the cycle it produces its value).
+"""
+
+from __future__ import annotations
+
+from repro.isa import DEFAULT_LATENCIES, LatencyTable
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.entry import InFlight
+from repro.sim.stats import SimStats
+
+
+class DeadlockError(RuntimeError):
+    """The machine stopped making progress — a modelling bug, not a result."""
+
+
+class CycleCore:
+    """Base class: event wheel, wakeup, run loop, final stats."""
+
+    def __init__(
+        self,
+        name: str,
+        hierarchy: MemoryHierarchy,
+        stats: SimStats,
+        latencies: LatencyTable = DEFAULT_LATENCIES,
+    ) -> None:
+        self.name = name
+        self.hierarchy = hierarchy
+        self.stats = stats
+        self.latencies = latencies
+        self.now = 0
+        self.committed = 0
+        self._events: dict[int, list[InFlight]] = {}
+
+    # ------------------------------------------------------------------
+    # Event wheel
+    # ------------------------------------------------------------------
+
+    def schedule_completion(self, entry: InFlight, done_cycle: int) -> None:
+        """Arrange for *entry* to complete (write back) at *done_cycle*."""
+        entry.done_cycle = done_cycle
+        self._events.setdefault(done_cycle, []).append(entry)
+
+    def process_completions(self) -> None:
+        """Retire this cycle's completion events and wake dependents."""
+        entries = self._events.pop(self.now, None)
+        if not entries:
+            return
+        for entry in entries:
+            entry.executed = True
+            self.on_complete(entry)
+            waiters = entry.waiters
+            if waiters:
+                entry.waiters = None
+                for waiter in waiters:
+                    waiter.unready -= 1
+                    if waiter.unready == 0 and waiter.owner is not None:
+                        waiter.owner.wake(waiter)
+
+    def on_complete(self, entry: InFlight) -> None:
+        """Hook invoked when *entry* completes (default: nothing)."""
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Simulate one cycle.  Subclasses implement the pipeline here."""
+        raise NotImplementedError
+
+    def run(self, num_instructions: int, max_cycles: int | None = None) -> SimStats:
+        """Simulate until *num_instructions* have committed."""
+        if max_cycles is None:
+            # Generous bound: even a fully serialized miss chain at
+            # 1000-cycle memory stays well under this.
+            max_cycles = 20_000 + num_instructions * 2_000
+        target = num_instructions
+        while self.committed < target:
+            self.step()
+            self.now += 1
+            if self.now > max_cycles:
+                raise DeadlockError(
+                    f"{self.name}: no forward progress — committed "
+                    f"{self.committed}/{target} after {self.now} cycles"
+                )
+        self.stats.committed = self.committed
+        self.stats.cycles = self.now
+        self._copy_memory_stats()
+        return self.stats
+
+    def _copy_memory_stats(self) -> None:
+        h = self.hierarchy
+        self.stats.l1_hits = h.l1.hits
+        self.stats.l1_misses = h.l1.misses
+        if h.l2 is not None:
+            self.stats.l2_hits = h.l2.hits
+            self.stats.l2_misses = h.l2.misses
+        if h.memory is not None:
+            self.stats.memory_accesses = h.memory.accesses

@@ -1,0 +1,77 @@
+"""Per-cycle functional-unit arbitration.
+
+Functional units are modelled as per-cycle issue slots: an ``FuPool`` holds
+the unit counts of Table 2 and hands out at most that many issues of each
+kind per cycle.  Units are fully pipelined (a unit accepts a new operation
+every cycle regardless of latency), matching the classic SimpleScalar
+model for everything except FP divide, whose longer latency already
+throttles throughput in practice.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa import OpClass
+from repro.sim.config import FuConfig
+
+
+class FuKind(enum.IntEnum):
+    ALU = 0       # integer ALUs (also resolve branches)
+    IMUL = 1      # integer multiplier
+    FPADD = 2     # FP adders
+    FPMUL = 3     # FP multiplier / divider
+    MEM = 4       # memory ports (shared read/write)
+
+
+_KIND_OF_OP = {
+    OpClass.INT_ALU: FuKind.ALU,
+    OpClass.BRANCH: FuKind.ALU,
+    OpClass.JUMP: FuKind.ALU,
+    OpClass.NOP: FuKind.ALU,
+    OpClass.INT_MUL: FuKind.IMUL,
+    OpClass.FP_ADD: FuKind.FPADD,
+    OpClass.FP_MUL: FuKind.FPMUL,
+    OpClass.FP_DIV: FuKind.FPMUL,
+    OpClass.LOAD: FuKind.MEM,
+    OpClass.STORE: FuKind.MEM,
+    OpClass.FP_LOAD: FuKind.MEM,
+    OpClass.FP_STORE: FuKind.MEM,
+}
+
+
+def fu_kind_of(op: OpClass) -> FuKind:
+    """Functional-unit kind executing operation class *op*."""
+    return _KIND_OF_OP[op]
+
+
+class FuPool:
+    """Issue-slot pool for one cycle; call :meth:`new_cycle` every cycle."""
+
+    __slots__ = ("_limits", "_used")
+
+    def __init__(self, config: FuConfig) -> None:
+        self._limits = [
+            config.int_alu,
+            config.int_mul,
+            config.fp_add,
+            config.fp_mul,
+            config.mem_ports,
+        ]
+        self._used = [0, 0, 0, 0, 0]
+
+    def new_cycle(self) -> None:
+        used = self._used
+        used[0] = used[1] = used[2] = used[3] = used[4] = 0
+
+    def try_take(self, kind: FuKind) -> bool:
+        """Claim an issue slot of *kind*; False when all are taken."""
+        k = int(kind)
+        if self._used[k] < self._limits[k]:
+            self._used[k] += 1
+            return True
+        return False
+
+    def available(self, kind: FuKind) -> int:
+        k = int(kind)
+        return self._limits[k] - self._used[k]

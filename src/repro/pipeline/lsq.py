@@ -1,0 +1,81 @@
+"""Load/store queue: capacity tracking and store-to-load forwarding.
+
+Section 3.3 of the paper treats the LSQ as a decoupled component
+(integrating the hierarchical design of Akkary et al. [12]); what the
+pipeline models need from it is (a) a capacity limit on in-flight memory
+operations and (b) store-to-load forwarding so a load does not go to the
+cache when an older in-flight store to the same address holds the value.
+
+Disambiguation is idealized: the trace carries final addresses, so loads
+never violate memory ordering (no replays).  Forwarding only happens from
+stores that have issued (address known), which is the conservative side of
+real designs.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.entry import InFlight
+
+
+#: Load-to-use latency when the value is forwarded from the store queue.
+FORWARD_LATENCY = 2
+
+
+class LoadStoreQueue:
+    """Bounded queue of in-flight memory operations."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.occupancy = 0
+        # addr -> ascending list of seqs of issued, uncommitted stores
+        self._pending_stores: dict[int, list[int]] = {}
+        self.forwarded_loads = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def has_space(self) -> bool:
+        return self.occupancy < self.size
+
+    def allocate(self) -> None:
+        if self.occupancy >= self.size:
+            raise RuntimeError("LSQ overflow")
+        self.occupancy += 1
+
+    def release(self) -> None:
+        if self.occupancy <= 0:
+            raise RuntimeError("LSQ underflow")
+        self.occupancy -= 1
+
+    # ------------------------------------------------------------------
+
+    def store_issued(self, entry: InFlight) -> None:
+        """Record that a store's address and data are known."""
+        addr = entry.instr.addr
+        self._pending_stores.setdefault(addr, []).append(entry.seq)
+
+    def store_committed(self, entry: InFlight) -> None:
+        """Remove a store from the forwarding window at commit."""
+        addr = entry.instr.addr
+        seqs = self._pending_stores.get(addr)
+        if seqs:
+            try:
+                seqs.remove(entry.seq)
+            except ValueError:
+                pass
+            if not seqs:
+                del self._pending_stores[addr]
+
+    def forwarding_store(self, load: InFlight) -> bool:
+        """True when an older in-flight store can forward to *load*."""
+        seqs = self._pending_stores.get(load.instr.addr)
+        if not seqs:
+            return False
+        return any(seq < load.seq for seq in seqs)
+
+    def load_latency_if_forwarded(self, load: InFlight) -> int | None:
+        """Forwarding latency, or None when the load must access the cache."""
+        if self.forwarding_store(load):
+            self.forwarded_loads += 1
+            return FORWARD_LATENCY
+        return None

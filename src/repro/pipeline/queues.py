@@ -1,0 +1,123 @@
+"""Bounded issue queues: out-of-order (CAM-like) or in-order (FIFO).
+
+The out-of-order flavour keeps a ready min-heap ordered by sequence number,
+so issue selection is oldest-first among ready instructions — the usual
+select policy.  Waiting instructions cost nothing until their wakeup.
+
+The in-order flavour only ever inspects its head, which is how the paper's
+INO configurations (Figure 10) and the Memory Processor's Future-File
+reservation stations behave.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.pipeline.entry import InFlight
+from repro.sim.config import SchedulerPolicy
+
+
+class IssueQueue:
+    """One scheduling window of bounded capacity."""
+
+    def __init__(self, name: str, size: int, policy: SchedulerPolicy) -> None:
+        self.name = name
+        self.size = size
+        self.policy = policy
+        self.occupancy = 0
+        self._in_order = policy == SchedulerPolicy.IN_ORDER
+        self._fifo: deque[InFlight] = deque()
+        self._ready_heap: list[tuple[int, InFlight]] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def has_space(self) -> bool:
+        return self.occupancy < self.size
+
+    def add(self, entry: InFlight) -> None:
+        """Dispatch *entry* into the queue (caller checked ``has_space``)."""
+        if self.occupancy >= self.size:
+            raise RuntimeError(f"issue queue {self.name} overflow")
+        self.occupancy += 1
+        entry.owner = self
+        if self._in_order:
+            self._fifo.append(entry)
+        elif entry.unready == 0:
+            heapq.heappush(self._ready_heap, (entry.seq, entry))
+
+    def remove(self, entry: InFlight) -> None:
+        """Detach a waiting entry (Analyze moved it to the LLIB/SLIQ).
+
+        The entry is dropped lazily from the internal containers; only the
+        occupancy accounting is updated here.  The caller re-owns the entry.
+        """
+        self.occupancy -= 1
+        if entry.owner is self:
+            entry.owner = None
+
+    def wake(self, entry: InFlight) -> None:
+        """Called when *entry*'s last outstanding source completed."""
+        if not self._in_order and not entry.issued:
+            heapq.heappush(self._ready_heap, (entry.seq, entry))
+
+    # ------------------------------------------------------------------
+
+    def next_issuable(self, now: int) -> InFlight | None:
+        """Oldest instruction that could issue this cycle, or None.
+
+        Does not remove the instruction; call :meth:`take` after the
+        functional-unit check succeeds.
+        """
+        if self._in_order:
+            # Lazily drop heads that issued or were detached (an entry the
+            # D-KIP's Analyze stage moved to the LLIB changes owner).
+            while self._fifo and (
+                self._fifo[0].issued or self._fifo[0].owner is not self
+            ):
+                self._fifo.popleft()
+            if self._fifo and self._fifo[0].unready == 0:
+                return self._fifo[0]
+            return None
+        while self._ready_heap:
+            entry = self._ready_heap[0][1]
+            if entry.issued or entry.owner is not self:
+                heapq.heappop(self._ready_heap)
+                continue
+            return entry
+        return None
+
+    def take(self, entry: InFlight) -> None:
+        """Remove *entry* after it was issued (frees its slot)."""
+        self.occupancy -= 1
+        entry.issued = True
+        if self._in_order:
+            if self._fifo and self._fifo[0] is entry:
+                self._fifo.popleft()
+        else:
+            if self._ready_heap and self._ready_heap[0][1] is entry:
+                heapq.heappop(self._ready_heap)
+
+    def defer(self, entry: InFlight) -> None:
+        """Pop a ready entry blocked on a functional unit off the heap.
+
+        The caller collects deferred entries and re-arms them with
+        :meth:`wake` once its per-cycle issue loop finishes, so the loop can
+        inspect the next-oldest candidate without livelocking.  In-order
+        queues never defer (a blocked head blocks the queue).
+        """
+        if not self._in_order and self._ready_heap and self._ready_heap[0][1] is entry:
+            heapq.heappop(self._ready_heap)
+
+    def drain(self) -> list[InFlight]:
+        """Remove and return all entries (checkpoint recovery)."""
+        out = []
+        if self._in_order:
+            out.extend(e for e in self._fifo if not e.issued)
+            self._fifo.clear()
+        else:
+            out.extend(e for _, e in self._ready_heap if not e.issued)
+            self._ready_heap.clear()
+        self.occupancy = 0
+        return out

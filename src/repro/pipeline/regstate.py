@@ -1,0 +1,63 @@
+"""Architectural-register → producer tracking (the rename-table analogue).
+
+Because our simulators are trace driven there is no need for physical
+registers: each definition simply supersedes the previous producer of the
+architectural register.  A consumer links to whatever entry currently
+produces each of its live sources; if that producer has not executed yet
+the consumer registers itself as a waiter.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import NUM_REGS
+from repro.pipeline.entry import InFlight
+
+
+class RegisterTracker:
+    """Tracks the in-flight producer of every architectural register."""
+
+    __slots__ = ("_producers",)
+
+    def __init__(self) -> None:
+        self._producers: list[InFlight | None] = [None] * NUM_REGS
+
+    def producer_of(self, reg: int) -> InFlight | None:
+        """Current producer of *reg*, or None when the value is in the ARF."""
+        producer = self._producers[reg]
+        if producer is not None and producer.executed:
+            # Value has been written back; treat as architecturally ready.
+            return None
+        return producer
+
+    def raw_producer(self, reg: int) -> InFlight | None:
+        """Producer entry even if already executed (LLBV bookkeeping)."""
+        return self._producers[reg]
+
+    def link_sources(self, entry: InFlight) -> None:
+        """Wire *entry* to its producers, counting unready sources.
+
+        Producers that have not yet executed are also recorded in
+        ``entry.sources`` so the D-KIP's LLIB head check can tell which of
+        them are Address-Processor loads (Section 3.2: extraction waits for
+        the long-latency load value, not for ordinary MP producers).
+        """
+        sources: list[InFlight] = []
+        for src in entry.instr.live_srcs():
+            producer = self._producers[src]
+            if producer is not None and not producer.executed:
+                entry.unready += 1
+                producer.add_waiter(entry)
+                sources.append(producer)
+        if sources:
+            entry.sources = tuple(sources)
+
+    def define(self, entry: InFlight) -> None:
+        """Record *entry* as the new producer of its destination."""
+        dest = entry.instr.dest
+        if dest is not None:
+            self._producers[dest] = entry
+
+    def clear(self) -> None:
+        """Forget all producers (checkpoint recovery restores the ARF)."""
+        for i in range(NUM_REGS):
+            self._producers[i] = None

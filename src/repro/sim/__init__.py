@@ -1,0 +1,29 @@
+"""Simulation kernel: configurations, statistics and run orchestration."""
+
+from repro.sim.stats import Histogram, SimStats
+from repro.sim.config import (
+    CoreConfig,
+    DkipConfig,
+    KiloConfig,
+    SchedulerPolicy,
+    R10_64,
+    R10_256,
+    KILO_1024,
+    DKIP_2048,
+)
+from repro.sim.runner import run_core, simulate
+
+__all__ = [
+    "Histogram",
+    "SimStats",
+    "CoreConfig",
+    "DkipConfig",
+    "KiloConfig",
+    "SchedulerPolicy",
+    "R10_64",
+    "R10_256",
+    "KILO_1024",
+    "DKIP_2048",
+    "run_core",
+    "simulate",
+]

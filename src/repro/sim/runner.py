@@ -1,0 +1,99 @@
+"""Run orchestration: build a machine, warm its caches, simulate a trace.
+
+The experiment harnesses (and the examples) go through these helpers so
+that every run follows the same methodology: deterministic workload trace,
+functional cache warm-up over the workload's data regions, fresh predictor
+state, one simulator instance per run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.branch import make_predictor
+from repro.isa import Instruction
+from repro.memory import DEFAULT_MEMORY, MemoryConfig, MemoryHierarchy, warm_caches
+from repro.sim.config import CoreConfig, DkipConfig, KiloConfig, RunaheadConfig
+from repro.sim.stats import SimStats
+
+MachineConfig = Union[CoreConfig, KiloConfig, DkipConfig, RunaheadConfig]
+
+
+def build_core(
+    config: MachineConfig,
+    trace: Iterable[Instruction],
+    hierarchy: MemoryHierarchy,
+    predictor,
+    stats: SimStats | None = None,
+):
+    """Instantiate the simulator matching *config*'s type."""
+    # Imports are local to avoid a cycle: the cores import sim.config.
+    from repro.baselines.kilo import KiloCore
+    from repro.baselines.ooo import R10Core
+    from repro.baselines.runahead import RunaheadCore
+    from repro.core.dkip import DkipProcessor
+
+    if isinstance(config, DkipConfig):
+        return DkipProcessor(trace, config, hierarchy, predictor, stats)
+    if isinstance(config, KiloConfig):
+        return KiloCore(trace, config, hierarchy, predictor, stats)
+    if isinstance(config, RunaheadConfig):
+        return RunaheadCore(
+            trace, config.core, hierarchy, predictor, stats,
+            exit_penalty=config.exit_penalty,
+        )
+    if isinstance(config, CoreConfig):
+        return R10Core(trace, config, hierarchy, predictor, stats)
+    raise TypeError(f"unknown machine configuration type: {type(config)!r}")
+
+
+def simulate(
+    config: MachineConfig,
+    trace: Sequence[Instruction],
+    memory: MemoryConfig = DEFAULT_MEMORY,
+    regions: Sequence[tuple[int, int]] | None = None,
+    predictor_name: str | None = None,
+    warmup_passes: int = 1,
+    max_cycles: int | None = None,
+) -> SimStats:
+    """Simulate a materialized *trace* on the machine described by *config*.
+
+    Args:
+        regions: Workload data regions for functional cache warm-up
+            (skipped when None or when the hierarchy has no finite cache).
+        predictor_name: Override the config's branch predictor.
+    """
+    hierarchy = MemoryHierarchy(memory)
+    if regions:
+        warm_caches(hierarchy, regions, passes=warmup_passes)
+    if predictor_name is None:
+        predictor_name = getattr(config, "predictor", None) or "perceptron"
+    predictor = make_predictor(predictor_name)
+    stats = SimStats(config=getattr(config, "name", str(config)))
+    core = build_core(config, iter(trace), hierarchy, predictor, stats)
+    result = core.run(len(trace), max_cycles=max_cycles)
+    result.branch_predictions = predictor.predictions
+    result.branch_mispredictions = predictor.mispredictions
+    return result
+
+
+def run_core(
+    config: MachineConfig,
+    workload,
+    num_instructions: int,
+    memory: MemoryConfig = DEFAULT_MEMORY,
+    warmup: bool = True,
+    predictor_name: str | None = None,
+) -> SimStats:
+    """Convenience wrapper: materialize a workload trace and simulate it."""
+    trace = workload.trace(num_instructions)
+    regions = workload.regions if warmup else None
+    stats = simulate(
+        config,
+        trace,
+        memory=memory,
+        regions=regions,
+        predictor_name=predictor_name,
+    )
+    stats.workload = workload.name
+    return stats

@@ -1,0 +1,159 @@
+"""Statistics collected by the simulators.
+
+:class:`SimStats` is the single record every core fills in; experiments
+aggregate these into the rows of the paper's tables and figures.  The
+fields cover the quantities the paper reports: IPC, the CP/MP execution
+split (§4.4), Analyze-stage stalls (§3.2, "averaging 0.7% IPC loss"),
+LLIB/LLRF high-water marks (Figures 13/14) and the decode→issue distance
+distribution (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Histogram:
+    """Fixed-bin-width histogram over non-negative integer samples."""
+
+    def __init__(self, bin_width: int = 25, max_value: int | None = None) -> None:
+        if bin_width <= 0:
+            raise ValueError("bin width must be positive")
+        self.bin_width = bin_width
+        self.max_value = max_value
+        self._bins: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+
+    def add(self, value: int, weight: int = 1) -> None:
+        if value < 0:
+            raise ValueError(f"histogram values must be non-negative: {value}")
+        if self.max_value is not None and value > self.max_value:
+            value = self.max_value
+        index = value // self.bin_width
+        self._bins[index] = self._bins.get(index, 0) + weight
+        self.count += weight
+        self.total += value * weight
+
+    def bins(self) -> list[tuple[int, int]]:
+        """Sorted ``(bin_start, count)`` pairs."""
+        return [(i * self.bin_width, c) for i, c in sorted(self._bins.items())]
+
+    def fraction_below(self, threshold: int) -> float:
+        """Fraction of samples strictly below *threshold* cycles."""
+        if not self.count:
+            return 0.0
+        covered = sum(
+            c for i, c in self._bins.items() if (i + 1) * self.bin_width <= threshold
+        )
+        return covered / self.count
+
+    def fraction_in(self, lo: int, hi: int) -> float:
+        """Fraction of samples in bins fully inside ``[lo, hi)``."""
+        if not self.count:
+            return 0.0
+        covered = sum(
+            c
+            for i, c in self._bins.items()
+            if i * self.bin_width >= lo and (i + 1) * self.bin_width <= hi
+        )
+        return covered / self.count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class SimStats:
+    """Everything one simulation run produces."""
+
+    workload: str = ""
+    config: str = ""
+    committed: int = 0
+    cycles: int = 0
+
+    # Front end
+    fetched: int = 0
+    fetch_stall_cycles: int = 0
+    branch_predictions: int = 0
+    branch_mispredictions: int = 0
+    long_latency_branch_mispredictions: int = 0
+
+    # Memory system (copied from the hierarchy at the end of a run)
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    memory_accesses: int = 0
+
+    # Execution-locality split (D-KIP; §4.4 of the paper)
+    committed_cp: int = 0
+    committed_mp: int = 0
+    analyze_stall_cycles: int = 0
+
+    # LLIB / LLRF occupancy (Figures 13 and 14)
+    llib_insertions: int = 0
+    llib_max_instructions_int: int = 0
+    llib_max_instructions_fp: int = 0
+    llib_max_registers_int: int = 0
+    llib_max_registers_fp: int = 0
+    llib_full_stall_cycles: int = 0
+
+    # Checkpointing machinery
+    checkpoints_taken: int = 0
+    checkpoint_recoveries: int = 0
+
+    # Optional distributions
+    issue_distance: Histogram | None = None
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        if not self.branch_predictions:
+            return 1.0
+        return 1.0 - self.branch_mispredictions / self.branch_predictions
+
+    @property
+    def l2_miss_rate(self) -> float:
+        accesses = self.l2_hits + self.l2_misses
+        return self.l2_misses / accesses if accesses else 0.0
+
+    @property
+    def cp_fraction(self) -> float:
+        """Fraction of committed instructions executed by the CP (§4.4)."""
+        split = self.committed_cp + self.committed_mp
+        return self.committed_cp / split if split else 1.0
+
+    def as_dict(self) -> dict:
+        """Flat dictionary for CSV/JSON emission (histograms omitted)."""
+        out = {
+            "workload": self.workload,
+            "config": self.config,
+            "committed": self.committed,
+            "cycles": self.cycles,
+            "ipc": round(self.ipc, 4),
+            "branch_accuracy": round(self.branch_accuracy, 4),
+            "l2_miss_rate": round(self.l2_miss_rate, 4),
+            "cp_fraction": round(self.cp_fraction, 4),
+            "committed_cp": self.committed_cp,
+            "committed_mp": self.committed_mp,
+            "analyze_stall_cycles": self.analyze_stall_cycles,
+            "llib_max_instructions_int": self.llib_max_instructions_int,
+            "llib_max_instructions_fp": self.llib_max_instructions_fp,
+            "llib_max_registers_int": self.llib_max_registers_int,
+            "llib_max_registers_fp": self.llib_max_registers_fp,
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoint_recoveries": self.checkpoint_recoveries,
+        }
+        return out
+
+
+def arithmetic_mean_ipc(stats: list[SimStats]) -> float:
+    """Average IPC the way the paper's figures do (arithmetic mean)."""
+    if not stats:
+        return 0.0
+    return sum(s.ipc for s in stats) / len(stats)

@@ -1,0 +1,29 @@
+"""SimPoint methodology: pick representative intervals of a long trace.
+
+The paper simulates "200 million committed instructions selected using the
+SimPoint methodology" (Sherwood et al., ASPLOS 2002, reference [17]).  We
+implement that methodology at reduced scale so the same workflow —
+profile basic-block vectors, cluster them, simulate one interval per
+cluster, weight the results — can be exercised and tested:
+
+* :mod:`repro.simpoint.bbv` — split a trace into fixed-size intervals and
+  build each interval's Basic Block Vector (execution-frequency profile);
+* :mod:`repro.simpoint.kmeans` — a from-scratch k-means with the k-means++
+  seeding SimPoint uses (deterministic given a seed);
+* :mod:`repro.simpoint.select` — choose the interval closest to each
+  cluster centroid and produce (interval, weight) simulation points.
+"""
+
+from repro.simpoint.bbv import BasicBlockVectors, collect_bbvs
+from repro.simpoint.kmeans import KMeansResult, kmeans
+from repro.simpoint.select import SimPoint, choose_simpoints, weighted_ipc
+
+__all__ = [
+    "BasicBlockVectors",
+    "collect_bbvs",
+    "KMeansResult",
+    "kmeans",
+    "SimPoint",
+    "choose_simpoints",
+    "weighted_ipc",
+]

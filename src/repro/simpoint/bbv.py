@@ -1,0 +1,77 @@
+"""Basic Block Vector profiling.
+
+A *basic block* boundary is any control-flow instruction; the "block id"
+of an instruction is the pc of the last control-flow target before it.
+For each fixed-size interval of the dynamic trace we count how many
+instructions executed under each block id, then L1-normalize — the
+standard BBV of Sherwood et al.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.isa import Instruction
+
+
+@dataclass
+class BasicBlockVectors:
+    """BBV profile of a trace: one normalized row per interval."""
+
+    interval_size: int
+    #: (num_intervals, num_blocks) float array, rows L1-normalized.
+    matrix: np.ndarray
+    #: block id (pc) per matrix column.
+    block_ids: list[int]
+
+    @property
+    def num_intervals(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def num_blocks(self) -> int:
+        return self.matrix.shape[1]
+
+
+def collect_bbvs(
+    trace: Iterable[Instruction], interval_size: int = 1024
+) -> BasicBlockVectors:
+    """Profile *trace* into basic-block vectors of ``interval_size``."""
+    if interval_size <= 0:
+        raise ValueError("interval size must be positive")
+    block_index: dict[int, int] = {}
+    interval_rows: list[dict[int, int]] = []
+    current: dict[int, int] = {}
+    count = 0
+    block = 0  # current basic block id (entry pc)
+    for instr in trace:
+        column = block_index.setdefault(block, len(block_index))
+        current[column] = current.get(column, 0) + 1
+        count += 1
+        if instr.is_branch and instr.taken:
+            block = instr.target if instr.target else instr.pc + 4
+        elif instr.is_branch:
+            block = instr.pc + 4
+        if count == interval_size:
+            interval_rows.append(current)
+            current = {}
+            count = 0
+    if count:
+        interval_rows.append(current)
+    num_blocks = len(block_index)
+    matrix = np.zeros((len(interval_rows), max(num_blocks, 1)), dtype=np.float64)
+    for row, counts in enumerate(interval_rows):
+        for column, value in counts.items():
+            matrix[row, column] = value
+        total = matrix[row].sum()
+        if total:
+            matrix[row] /= total
+    ids = [0] * max(num_blocks, 1)
+    for pc, column in block_index.items():
+        ids[column] = pc
+    return BasicBlockVectors(
+        interval_size=interval_size, matrix=matrix, block_ids=ids
+    )

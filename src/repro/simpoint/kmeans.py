@@ -1,0 +1,94 @@
+"""k-means clustering with k-means++ seeding, implemented from scratch.
+
+SimPoint clusters interval BBVs with k-means; scikit-learn is not among
+this project's dependencies, so the algorithm is implemented here on
+numpy.  Deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Clustering outcome."""
+
+    centroids: np.ndarray          # (k, dims)
+    labels: np.ndarray             # (n,) cluster index per point
+    inertia: float                 # sum of squared distances to centroids
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _seed_centroids(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to D^2."""
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]), dtype=points.dtype)
+    first = rng.integers(n)
+    centroids[0] = points[first]
+    distances = np.sum((points - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = distances.sum()
+        if total <= 0:
+            # All points coincide with chosen centroids; reuse any point.
+            centroids[i:] = points[rng.integers(n, size=k - i)]
+            break
+        probabilities = distances / total
+        choice = rng.choice(n, p=probabilities)
+        centroids[i] = points[choice]
+        distances = np.minimum(
+            distances, np.sum((points - centroids[i]) ** 2, axis=1)
+        )
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 100,
+    tolerance: float = 1e-8,
+) -> KMeansResult:
+    """Cluster *points* into *k* groups (Lloyd's algorithm, k-means++ init)."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = np.random.default_rng(seed)
+    centroids = _seed_centroids(points, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        # Assign: nearest centroid per point.
+        distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        # Update: mean of each cluster; empty clusters grab the farthest point.
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if len(members):
+                new_centroids[cluster] = members.mean(axis=0)
+            else:
+                farthest = distances.min(axis=1).argmax()
+                new_centroids[cluster] = points[farthest]
+        shift = float(((new_centroids - centroids) ** 2).sum())
+        centroids = new_centroids
+        if shift <= tolerance:
+            break
+    distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(n), labels].sum())
+    return KMeansResult(
+        centroids=centroids, labels=labels, inertia=inertia, iterations=iterations
+    )

@@ -1,0 +1,63 @@
+"""Simulation-point selection: one representative interval per cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simpoint.bbv import BasicBlockVectors
+from repro.simpoint.kmeans import kmeans
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One chosen simulation point."""
+
+    interval: int    # interval index in the profiled trace
+    weight: float    # fraction of intervals its cluster covers
+
+    def instruction_range(self, interval_size: int) -> tuple[int, int]:
+        start = self.interval * interval_size
+        return start, start + interval_size
+
+
+def choose_simpoints(
+    bbvs: BasicBlockVectors, k: int = 4, seed: int = 0
+) -> list[SimPoint]:
+    """Cluster the BBVs and pick the interval nearest each centroid.
+
+    Weights are cluster populations normalized to 1, exactly how SimPoint
+    weights per-point IPC into a whole-program estimate.
+    """
+    matrix = bbvs.matrix
+    k = min(k, matrix.shape[0])
+    result = kmeans(matrix, k, seed=seed)
+    points: list[SimPoint] = []
+    n = matrix.shape[0]
+    for cluster in range(result.k):
+        members = np.flatnonzero(result.labels == cluster)
+        if len(members) == 0:
+            continue
+        centroid = result.centroids[cluster]
+        distances = ((matrix[members] - centroid) ** 2).sum(axis=1)
+        representative = int(members[distances.argmin()])
+        points.append(SimPoint(interval=representative, weight=len(members) / n))
+    points.sort(key=lambda p: p.interval)
+    return points
+
+
+def weighted_ipc(points: list[SimPoint], ipcs: dict[int, float]) -> float:
+    """Combine per-point IPC measurements into the program estimate."""
+    total_weight = sum(p.weight for p in points)
+    if not total_weight:
+        return 0.0
+    acc = 0.0
+    for point in points:
+        try:
+            acc += point.weight * ipcs[point.interval]
+        except KeyError:
+            raise KeyError(
+                f"no IPC measurement for simulation point {point.interval}"
+            ) from None
+    return acc / total_weight

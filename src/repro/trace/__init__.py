@@ -1,0 +1,37 @@
+"""Trace infrastructure: streams of dynamic instructions and the kernel DSL.
+
+Simulators in this package are *trace driven*: they consume an iterator of
+:class:`repro.isa.Instruction` records carrying resolved memory addresses
+and branch outcomes.  This module provides
+
+* :mod:`repro.trace.stream` — utilities to slice, record, replay and
+  summarize traces;
+* :mod:`repro.trace.kernel` — a small "assembler" DSL with which the
+  synthetic SPEC2000 workloads of :mod:`repro.workloads` are written;
+* :mod:`repro.trace.layout` — virtual address-space layout helpers (arrays,
+  linked structures) so workloads generate realistic address streams.
+"""
+
+from repro.trace.stream import (
+    TraceRecorder,
+    TraceSummary,
+    materialize,
+    replay,
+    summarize,
+    take,
+)
+from repro.trace.kernel import Kernel
+from repro.trace.layout import AddressSpace, ArrayRef, LinkedList
+
+__all__ = [
+    "TraceRecorder",
+    "TraceSummary",
+    "materialize",
+    "replay",
+    "summarize",
+    "take",
+    "Kernel",
+    "AddressSpace",
+    "ArrayRef",
+    "LinkedList",
+]

@@ -1,0 +1,115 @@
+"""Trace serialization: save and reload instruction traces.
+
+The simulators are trace driven, so being able to persist a trace —
+for sharing a regression case, diffing two generator versions, or feeding
+an external tool — rounds out the infrastructure.  The format is a
+compact, self-describing text format (one instruction per line, gzip
+supported via the filename) chosen for durability and diff-ability over
+raw pickles:
+
+    # repro-trace v1
+    <seq> <pc> <op> <dest> <src0,src1> <addr> <size> <taken> <target>
+
+Missing fields are ``-``.  Round-tripping is exact (asserted by property
+tests in ``tests/trace/test_io.py``).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from typing import Iterable, Iterator, TextIO
+
+from repro.isa import Instruction, OpClass
+
+_HEADER = "# repro-trace v1"
+
+
+def _open(path: str, mode: str) -> TextIO:
+    if path.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, mode + "b"))  # type: ignore[arg-type]
+    return open(path, mode)
+
+
+def _field(value) -> str:
+    if value is None:
+        return "-"
+    if value is True:
+        return "T"
+    if value is False:
+        return "N"
+    return str(value)
+
+
+def dump_trace(instructions: Iterable[Instruction], path: str) -> int:
+    """Write *instructions* to *path* (gzip if it ends with ``.gz``).
+
+    Returns the number of instructions written.
+    """
+    count = 0
+    with _open(path, "w") as handle:
+        handle.write(_HEADER + "\n")
+        for instr in instructions:
+            srcs = ",".join(str(s) for s in instr.srcs) if instr.srcs else "-"
+            handle.write(
+                " ".join(
+                    (
+                        str(instr.seq),
+                        format(instr.pc, "x"),
+                        instr.op.name,
+                        _field(instr.dest),
+                        srcs,
+                        format(instr.addr, "x") if instr.addr is not None else "-",
+                        str(instr.size),
+                        _field(instr.taken),
+                        _field(instr.target),
+                    )
+                )
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+def _parse_int(token: str, base: int = 10):
+    return None if token == "-" else int(token, base)
+
+
+def _parse_bool(token: str):
+    if token == "-":
+        return None
+    if token == "T":
+        return True
+    if token == "N":
+        return False
+    raise ValueError(f"bad boolean field {token!r}")
+
+
+def load_trace(path: str) -> Iterator[Instruction]:
+    """Stream instructions back from a file written by :func:`dump_trace`."""
+    with _open(path, "r") as handle:
+        header = handle.readline().rstrip("\n")
+        if header != _HEADER:
+            raise ValueError(
+                f"{path}: not a repro trace (header {header!r}, "
+                f"expected {_HEADER!r})"
+            )
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 9:
+                raise ValueError(f"{path}:{line_number}: malformed record: {line!r}")
+            seq, pc, op, dest, srcs, addr, size, taken, target = parts
+            yield Instruction(
+                seq=int(seq),
+                pc=int(pc, 16),
+                op=OpClass[op],
+                dest=_parse_int(dest),
+                srcs=tuple(int(s) for s in srcs.split(",")) if srcs != "-" else (),
+                addr=_parse_int(addr, 16),
+                size=int(size),
+                taken=_parse_bool(taken),
+                target=_parse_int(target),
+            )

@@ -1,0 +1,125 @@
+"""Virtual address-space layout for synthetic workloads.
+
+Workloads model real data structures — arrays, matrices, linked lists,
+hash tables — and must emit address streams whose cache behaviour resembles
+the benchmark being mimicked.  This module provides the allocation and
+addressing helpers those workloads share.
+
+Addresses are plain integers in a private per-workload virtual space; the
+cache models only care about their line-granularity structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Cache line size assumed throughout the evaluation (bytes).
+LINE_SIZE = 64
+
+
+class AddressSpace:
+    """Bump allocator for a workload's virtual address space.
+
+    Every workload owns one address space; regions it allocates are recorded
+    so the functional cache warm-up (:mod:`repro.memory.warmup`) can touch
+    the working set before timed simulation starts.
+    """
+
+    def __init__(self, base: int = 0x1000_0000) -> None:
+        self._next = base
+        #: (base, size) of every allocated region, in allocation order.
+        self.regions: list[tuple[int, int]] = []
+
+    def alloc(self, size: int, align: int = LINE_SIZE) -> int:
+        """Allocate *size* bytes aligned to *align* and return the base."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive: {size}")
+        if align <= 0 or align & (align - 1):
+            raise ValueError(f"alignment must be a positive power of two: {align}")
+        base = (self._next + align - 1) & ~(align - 1)
+        self._next = base + size
+        self.regions.append((base, size))
+        return base
+
+    @property
+    def footprint(self) -> int:
+        """Total bytes allocated across all regions."""
+        return sum(size for _, size in self.regions)
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A typed array in the virtual address space."""
+
+    base: int
+    elem_size: int
+    length: int
+
+    @property
+    def size(self) -> int:
+        return self.elem_size * self.length
+
+    def addr(self, index: int) -> int:
+        """Address of element *index* (wraps around, so any int is valid)."""
+        return self.base + (index % self.length) * self.elem_size
+
+    @staticmethod
+    def alloc(space: AddressSpace, length: int, elem_size: int = 8) -> "ArrayRef":
+        base = space.alloc(length * elem_size)
+        return ArrayRef(base=base, elem_size=elem_size, length=length)
+
+
+class LinkedList:
+    """A shuffled singly-linked list for pointer-chasing workloads.
+
+    Nodes are spread pseudo-randomly over a region so that successive
+    pointer dereferences hit different cache lines — the access pattern
+    behind `mcf`-style serial miss chains, which the paper identifies as the
+    SpecINT behaviour that defeats large instruction windows.
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        nodes: int,
+        node_size: int = 64,
+        rng: random.Random | None = None,
+    ) -> None:
+        if nodes <= 0:
+            raise ValueError("linked list needs at least one node")
+        rng = rng or random.Random(0)
+        self.node_size = node_size
+        self.base = space.alloc(nodes * node_size)
+        order = list(range(nodes))
+        rng.shuffle(order)
+        self._order = order
+        self._pos = 0
+
+    @property
+    def nodes(self) -> int:
+        return len(self._order)
+
+    def current(self) -> int:
+        """Address of the node the traversal cursor points at."""
+        return self.base + self._order[self._pos] * self.node_size
+
+    def advance(self) -> int:
+        """Follow the next pointer; returns the new node's address."""
+        self._pos = (self._pos + 1) % len(self._order)
+        return self.current()
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+def strided_touch_plan(regions: list[tuple[int, int]], stride: int = LINE_SIZE):
+    """Yield (address, is_write) pairs covering *regions* line by line.
+
+    This is the default functional warm-up plan: one read per cache line of
+    every allocated region, in allocation order, which leaves the caches in
+    a plausible steady state for the timed run.
+    """
+    for base, size in regions:
+        for offset in range(0, size, stride):
+            yield base + offset, False

@@ -1,0 +1,130 @@
+"""Utilities over instruction streams.
+
+A *trace* is any iterable of :class:`~repro.isa.Instruction`.  Workloads
+produce unbounded generators; experiments slice them with :func:`take` or
+materialize a fixed-length prefix once and replay it against many machine
+configurations (instructions are immutable, so sharing is safe).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.isa import Instruction, OpClass
+
+
+def take(trace: Iterable[Instruction], n: int) -> Iterator[Instruction]:
+    """Yield the first *n* instructions of *trace*."""
+    return itertools.islice(iter(trace), n)
+
+
+def materialize(trace: Iterable[Instruction], n: int) -> list[Instruction]:
+    """Materialize the first *n* instructions as a list.
+
+    Experiments that evaluate several machine configurations on the same
+    workload should materialize the trace once and pass the list to every
+    simulator; regeneration dominates runtime otherwise.
+    """
+    out = list(take(trace, n))
+    if len(out) < n:
+        raise ValueError(
+            f"trace ended after {len(out)} instructions; {n} were requested"
+        )
+    return out
+
+
+def replay(instructions: Sequence[Instruction]) -> Iterator[Instruction]:
+    """Iterate a materialized trace (counterpart of :func:`materialize`)."""
+    return iter(instructions)
+
+
+class TraceRecorder:
+    """Tee adapter recording every instruction that flows through it."""
+
+    def __init__(self, trace: Iterable[Instruction]) -> None:
+        self._trace = iter(trace)
+        self.recorded: list[Instruction] = []
+
+    def __iter__(self) -> Iterator[Instruction]:
+        for instr in self._trace:
+            self.recorded.append(instr)
+            yield instr
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics of a trace prefix.
+
+    Used by workload unit tests to check that each synthetic benchmark has
+    the instruction mix it is documented to have (load fraction, branch
+    fraction, FP share, unique footprint, …).
+    """
+
+    count: int = 0
+    op_counts: Counter = field(default_factory=Counter)
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    fp_instructions: int = 0
+    unique_lines: int = 0
+    unique_branch_sites: int = 0
+    min_addr: int | None = None
+    max_addr: int | None = None
+
+    @property
+    def load_fraction(self) -> float:
+        return self.loads / self.count if self.count else 0.0
+
+    @property
+    def store_fraction(self) -> float:
+        return self.stores / self.count if self.count else 0.0
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.branches / self.count if self.count else 0.0
+
+    @property
+    def fp_fraction(self) -> float:
+        return self.fp_instructions / self.count if self.count else 0.0
+
+    @property
+    def taken_rate(self) -> float:
+        return self.taken_branches / self.branches if self.branches else 0.0
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Distinct 64-byte cache lines touched, in bytes."""
+        return self.unique_lines * 64
+
+
+def summarize(trace: Iterable[Instruction], line_size: int = 64) -> TraceSummary:
+    """Compute a :class:`TraceSummary` over *trace* (consumes it)."""
+    summary = TraceSummary()
+    lines: set[int] = set()
+    branch_sites: set[int] = set()
+    for instr in trace:
+        summary.count += 1
+        summary.op_counts[instr.op] += 1
+        if instr.is_load:
+            summary.loads += 1
+        elif instr.is_store:
+            summary.stores += 1
+        if instr.is_branch:
+            summary.branches += 1
+            branch_sites.add(instr.pc)
+            if instr.taken:
+                summary.taken_branches += 1
+        if instr.is_fp:
+            summary.fp_instructions += 1
+        if instr.addr is not None:
+            lines.add(instr.addr // line_size)
+            lo, hi = instr.addr, instr.addr + instr.size
+            summary.min_addr = lo if summary.min_addr is None else min(summary.min_addr, lo)
+            summary.max_addr = hi if summary.max_addr is None else max(summary.max_addr, hi)
+    summary.unique_lines = len(lines)
+    summary.unique_branch_sites = len(branch_sites)
+    return summary

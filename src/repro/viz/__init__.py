@@ -1,0 +1,5 @@
+"""ASCII visualization used by the experiment harnesses and examples."""
+
+from repro.viz.ascii import bar_chart, histogram_chart, line_chart, table
+
+__all__ = ["bar_chart", "histogram_chart", "line_chart", "table"]

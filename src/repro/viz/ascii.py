@@ -1,0 +1,123 @@
+"""Plain-text charts: the harnesses regenerate the paper's figures in ASCII.
+
+Nothing here affects simulation; it only renders results.  Keeping the
+renderer dependency-free means the full experiment pipeline runs in any
+terminal (and in CI logs).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one bar per mapping entry."""
+    if not data:
+        return title or ""
+    peak = max(data.values()) or 1.0
+    label_width = max(len(k) for k in data)
+    lines = [title] if title else []
+    for key, value in data.items():
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(f"{key.ljust(label_width)} | {bar} {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    logx: bool = False,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series is a sequence of (x, y) points; series are drawn with
+    distinct marker characters and a legend is appended.
+    """
+    import math
+
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title or ""
+
+    def tx(x: float) -> float:
+        return math.log2(x) if logx else x
+
+    xs = [tx(x) for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x@%&=~^"
+    legend = []
+    for (name, pts), marker in zip(series.items(), markers * 3):
+        legend.append(f"{marker} = {name}")
+        for x, y in pts:
+            col = round((tx(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = [title] if title else []
+    for i, row in enumerate(grid):
+        y_val = y_hi - i * y_span / (height - 1)
+        lines.append(f"{y_val:7.2f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(" " * 9 + f"x: {min(x for x,_ in points):g} .. {max(x for x,_ in points):g}"
+                 + ("  (log2 x-axis)" if logx else ""))
+    lines.extend("        " + entry for entry in legend)
+    return "\n".join(lines)
+
+
+def histogram_chart(
+    bins: Sequence[tuple[int, int]],
+    bin_width: int,
+    total: int,
+    width: int = 50,
+    title: str | None = None,
+    max_bins: int = 40,
+) -> str:
+    """Render a histogram as percentage bars (Figure-3 style)."""
+    if not bins or not total:
+        return title or ""
+    shown = bins[:max_bins]
+    peak = max(c for _, c in shown) or 1
+    lines = [title] if title else []
+    for start, count in shown:
+        pct = 100.0 * count / total
+        bar = "#" * max(0, round(width * count / peak))
+        lines.append(f"{start:5d}-{start + bin_width - 1:<5d} | {bar} {pct:.1f}%")
+    if len(bins) > max_bins:
+        rest = sum(c for _, c in bins[max_bins:])
+        lines.append(f"  ...   | (+{100.0 * rest / total:.1f}% beyond)")
+    return "\n".join(lines)

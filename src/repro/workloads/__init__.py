@@ -1,0 +1,42 @@
+"""Synthetic SPEC2000: one generator per benchmark the paper simulates.
+
+The paper evaluates all of SPEC2000 (12 SpecINT + 14 SpecFP benchmarks,
+200M-instruction SimPoint samples of Alpha binaries).  Those binaries and
+traces are not redistributable, so this package re-creates each benchmark
+as a *synthetic workload*: a deterministic generator emitting an
+instruction stream whose dependence structure, memory footprint, access
+pattern and branch behaviour model the published characteristics of the
+original program.
+
+What matters for this paper is *execution locality* — which instructions
+end up waiting on off-chip memory — so each generator is explicit about:
+
+* working-set size and access pattern (streaming, blocked reuse, random,
+  pointer chasing), which set the L2 miss behaviour across the cache sweep
+  of Figures 11/12;
+* dependence chains from loads (who consumes a missed value, and whether
+  misses chain serially as in `mcf`'s pointer walks);
+* branch behaviour (loop branches, biased data-dependent branches, and
+  branches that read loaded values — the ones whose mispredictions cost a
+  full memory round trip).
+
+Use :func:`get_workload` / :func:`suite` to instantiate them.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    SPECFP_NAMES,
+    SPECINT_NAMES,
+    all_names,
+    get_workload,
+    suite,
+)
+
+__all__ = [
+    "Workload",
+    "SPECINT_NAMES",
+    "SPECFP_NAMES",
+    "all_names",
+    "get_workload",
+    "suite",
+]

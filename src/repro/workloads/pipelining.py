@@ -1,0 +1,36 @@
+"""Register rotation for software-pipelined workload kernels.
+
+Scientific FP loops, as compiled for Alpha-class machines, are unrolled and
+software pipelined: the loads of iteration *i* sit next to the compute of
+iteration *i-1* and the stores of iteration *i-2*, so adjacent instructions
+are independent and an in-order machine can stream them at full width.
+This is load-bearing for the reproduction: the paper's Memory Processor is
+*in order* (Figure 10 shows OOO MP buys only ~1-6%), which is only possible
+because the low-locality slices of SpecFP arrive pre-scheduled this way.
+
+:class:`RotatingRegs` provides the modulo register renaming such kernels
+need: a register set per pipeline slot, recycled every ``slots`` iterations
+(long after the previous use is dead).
+"""
+
+from __future__ import annotations
+
+from repro.trace.kernel import Kernel
+
+
+class RotatingRegs:
+    """Modulo-rotated register sets for software-pipelined loops."""
+
+    def __init__(self, kernel: Kernel, slots: int, per_slot: int, fp: bool = True) -> None:
+        if slots <= 0 or per_slot <= 0:
+            raise ValueError("slots and per_slot must be positive")
+        alloc = kernel.fregs if fp else kernel.iregs
+        self._slots = [alloc(per_slot) for _ in range(slots)]
+
+    @property
+    def slots(self) -> int:
+        return len(self._slots)
+
+    def __call__(self, iteration: int) -> list[int]:
+        """Register set of pipeline slot ``iteration mod slots``."""
+        return self._slots[iteration % len(self._slots)]

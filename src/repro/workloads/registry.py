@@ -1,0 +1,44 @@
+"""Workload registry: lookup by name, suite enumeration."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.specfp import SPECFP_WORKLOADS
+from repro.workloads.specint import SPECINT_WORKLOADS
+
+_REGISTRY: dict[str, type[Workload]] = {
+    cls.name: cls for cls in SPECINT_WORKLOADS + SPECFP_WORKLOADS
+}
+
+#: SpecINT benchmark names in the paper's figure order.
+SPECINT_NAMES: tuple[str, ...] = tuple(cls.name for cls in SPECINT_WORKLOADS)
+
+#: SpecFP benchmark names in the paper's figure order.
+SPECFP_NAMES: tuple[str, ...] = tuple(cls.name for cls in SPECFP_WORKLOADS)
+
+
+def all_names() -> tuple[str, ...]:
+    """Every benchmark name, SpecINT first (as in the paper's tables)."""
+    return SPECINT_NAMES + SPECFP_NAMES
+
+
+def get_workload(name: str, seed: int = 0) -> Workload:
+    """Instantiate the benchmark called *name*."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {', '.join(all_names())}"
+        ) from None
+    return cls(seed=seed)
+
+
+def suite(which: str, seed: int = 0) -> list[Workload]:
+    """All workloads of suite ``"int"`` or ``"fp"``."""
+    if which == "int":
+        names = SPECINT_NAMES
+    elif which == "fp":
+        names = SPECFP_NAMES
+    else:
+        raise ValueError(f"suite must be 'int' or 'fp', got {which!r}")
+    return [get_workload(name, seed=seed) for name in names]

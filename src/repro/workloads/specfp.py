@@ -1,0 +1,559 @@
+"""Synthetic SpecFP 2000: fourteen floating-point benchmarks.
+
+Floating-point codes are the paper's showcase: regular loops, highly
+predictable branches, and load misses that are *not* on the critical path
+when enough instructions can stay in flight (Section 2, Figure 2).  The
+generators below model that structure:
+
+* address computation stays short latency, so fetch-ahead converts misses
+  into overlapped prefetch-like accesses (memory-level parallelism);
+* kernels are emitted *software pipelined* (see
+  :mod:`repro.workloads.pipelining`): compute for iteration *i-k* sits next
+  to the loads of iteration *i*, which is how Alpha compilers scheduled
+  these loops and what lets the paper's in-order Memory Processor stream
+  low-locality slices at full width;
+* consumer chains of missed loads form the low-locality slices that drain
+  through the LLIB, a few instructions per miss.
+
+Working sets range from cache-resident (`mesa`, `sixtrack`, `galgel`,
+`facerec`) to multi-megabyte streams (`swim`, `art`, `lucas`, `applu`),
+which spreads the L2-size sensitivity of Figure 12 the way the paper's
+suite does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.isa import Instruction
+from repro.trace.kernel import Kernel
+from repro.trace.layout import ArrayRef
+from repro.workloads.base import Workload
+from repro.workloads.pipelining import RotatingRegs
+
+KB = 1024
+MB = 1024 * KB
+
+
+class Ammp(Workload):
+    """ammp: molecular dynamics.
+
+    Neighbour-list force computation: an index load (the atom id) followed
+    by a dependent gather from a ~2 MB coordinate array — a two-load chain
+    that contributes to Figure 3's small ~2x-memory-latency peak — then a
+    pipelined multiply-add force kernel.
+    """
+
+    name = "ammp"
+    suite = "fp"
+    description = "molecular dynamics: neighbour-list gather + MAC kernel"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        neighbors = ArrayRef.alloc(k.space, 48 * KB, 8)    # 384 KB indices
+        coords = ArrayRef.alloc(k.space, 224 * KB, 8)      # 1.75 MB coordinates
+        # Hot local-neighbour region: allocated last so warm-up leaves it
+        # cache resident.  Neighbour lists are spatially local, so the
+        # dependent load of the index-then-gather chain hits here and
+        # rarely extends a miss chain; the long-latency traffic comes from
+        # the streaming index and coordinate sweeps instead.
+        local = ArrayRef.alloc(k.space, 4 * KB, 8)         # 32 KB, hot
+        rng = k.rng
+        idxs = k.iregs(3)
+        rot = RotatingRegs(k, 4, 5)                        # x, y, f, t1, t2
+        for i in itertools.count():
+            idx = idxs[i % 3]
+            x, y, f, _t1, _t2 = rot(i)
+            yield k.load(idx, neighbors.addr(i % neighbors.length))
+            # Gather depends on the index load.  Most neighbours are local
+            # (hot region), but far-field partners land in the cold
+            # coordinate array: when the index load also missed, this forms
+            # the two-miss chain behind Figure 3's ~2x-latency peak — and
+            # the LLIB pressure that makes ammp the largest FP LLIB user in
+            # the paper's Figure 14.
+            if rng.random() < 0.75:
+                gather_addr = local.addr(rng.randrange(local.length))
+            else:
+                gather_addr = coords.addr(rng.randrange(coords.length))
+            yield k.load(x, gather_addr, base=idx, fp=True)
+            yield k.load(y, coords.addr((i * 9) % coords.length), fp=True)
+            if i >= 1:
+                p = rot(i - 1)
+                yield k.fmul(p[3], p[0], p[1])             # t1 = x*y
+            if i >= 2:
+                p = rot(i - 2)
+                yield k.fadd(p[4], p[3], p[2])             # t2 = t1+f
+            if i >= 3:
+                p = rot(i - 3)
+                yield k.store(p[4], coords.addr((i * 3) % coords.length), fp=True)
+            yield k.loop_branch("force")
+
+
+class Applu(Workload):
+    """applu: implicit PDE solver (SSOR).
+
+    Sweeps five ~1 MB solution arrays with unit stride; each grid point is
+    an independent, pipelined block of multiply-adds, so misses overlap
+    almost perfectly — the canonical large-window win.
+    """
+
+    name = "applu"
+    suite = "fp"
+    description = "SSOR PDE solver: five-array unit-stride sweeps"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        a = ArrayRef.alloc(k.space, 128 * KB, 8)           # 1 MB each
+        b = ArrayRef.alloc(k.space, 128 * KB, 8)
+        c = ArrayRef.alloc(k.space, 128 * KB, 8)
+        d = ArrayRef.alloc(k.space, 128 * KB, 8)
+        rot = RotatingRegs(k, 4, 6)                        # v0,v1,v2,t1,t2,t3
+        for i in itertools.count():
+            r = rot(i)
+            yield k.load(r[0], a.addr(i), fp=True)
+            yield k.load(r[1], b.addr(i), fp=True)
+            yield k.load(r[2], c.addr(i), fp=True)
+            if i >= 1:
+                p = rot(i - 1)
+                yield k.fmul(p[3], p[0], p[1])             # t1 = v0*v1
+                yield k.fadd(p[4], p[1], p[2])             # t2 = v1+v2
+            if i >= 2:
+                p = rot(i - 2)
+                yield k.fadd(p[5], p[3], p[4])             # t3 = t1+t2
+            if i >= 3:
+                p = rot(i - 3)
+                yield k.store(p[5], d.addr(i - 3), fp=True)
+            yield k.loop_branch("ssor")
+
+
+class Apsi(Workload):
+    """apsi: mesoscale weather model.
+
+    Mixed-stride sweeps (unit and plane stride) over ~1.5 MB with moderate
+    reuse in a work array; mid-pack in both miss rate and ILP.
+    """
+
+    name = "apsi"
+    suite = "fp"
+    description = "weather: mixed-stride sweeps, moderate reuse"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        field = ArrayRef.alloc(k.space, 128 * KB, 8)       # 1 MB
+        work = ArrayRef.alloc(k.space, 48 * KB, 8)         # 384 KB (reused)
+        rot = RotatingRegs(k, 4, 5)                        # t0,t1,w,s1,s2
+        plane = 2048
+        for i in itertools.count():
+            r = rot(i)
+            yield k.load(r[0], field.addr(i), fp=True)
+            yield k.load(r[1], field.addr(i + plane), fp=True)   # plane stride
+            yield k.load(r[2], work.addr(i % work.length), fp=True)
+            if i >= 1:
+                p = rot(i - 1)
+                yield k.fadd(p[3], p[0], p[1])
+            if i >= 2:
+                p = rot(i - 2)
+                yield k.fmul(p[4], p[3], p[2])
+            if i >= 3:
+                p = rot(i - 3)
+                yield k.store(p[4], work.addr((i - 3 + 7) % work.length), fp=True)
+            yield k.loop_branch("column")
+
+
+class Art(Workload):
+    """art: adaptive-resonance neural network.
+
+    Streams the whole ~3 MB F1-layer weight matrix every scan with almost
+    no reuse — one of the most memory-bound programs in SPEC2000 and a
+    big beneficiary of the D-KIP's never-stall fetch.
+    """
+
+    name = "art"
+    suite = "fp"
+    description = "neural net: 3 MB weight-matrix streaming, minimal reuse"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        weights = ArrayRef.alloc(k.space, 384 * KB, 8)     # 3 MB
+        inputs = ArrayRef.alloc(k.space, 2 * KB, 8)        # 16 KB, warm
+        rot = RotatingRegs(k, 4, 5)                        # w0,w1,x,m0,m1
+        accs = k.fregs(4)
+        for i in itertools.count():
+            r = rot(i)
+            yield k.load(r[0], weights.addr(2 * i), fp=True)
+            yield k.load(r[1], weights.addr(2 * i + 1), fp=True)
+            yield k.load(r[2], inputs.addr(i % inputs.length), fp=True)
+            if i >= 1:
+                p = rot(i - 1)
+                yield k.fmul(p[3], p[0], p[2])
+                yield k.fmul(p[4], p[1], p[2])
+            if i >= 2:
+                p = rot(i - 2)
+                # Four rotating accumulators break the reduction recurrence.
+                yield k.fadd(accs[i % 4], accs[i % 4], p[3])
+                yield k.fadd(accs[(i + 2) % 4], accs[(i + 2) % 4], p[4])
+            yield k.loop_branch("scan")
+
+
+class Equake(Workload):
+    """equake: seismic wave propagation (FEM).
+
+    Sparse matrix-vector product: a column-index load followed by a
+    dependent vector gather (two-load chains over ~1.5 MB), interleaved
+    with unit-stride matrix streaming.
+    """
+
+    name = "equake"
+    suite = "fp"
+    description = "FEM: sparse MxV with index-then-gather load chains"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        matrix = ArrayRef.alloc(k.space, 128 * KB, 8)      # 1 MB values
+        colidx = ArrayRef.alloc(k.space, 32 * KB, 8)       # 256 KB indices
+        vector = ArrayRef.alloc(k.space, 16 * KB, 8)       # 128 KB (L2 resident)
+        rng = k.rng
+        cols = k.iregs(3)
+        rot = RotatingRegs(k, 4, 4)                        # m, v, prod, s
+        for i in itertools.count():
+            col = cols[i % 3]
+            r = rot(i)
+            yield k.load(r[0], matrix.addr(i), fp=True)
+            yield k.load(col, colidx.addr(i % colidx.length))
+            # The gathered vector is small enough to stay L2 resident, so
+            # the dependent load of the index-then-gather chain rarely
+            # extends a miss chain (matching the real program's locality).
+            yield k.load(
+                r[1], vector.addr(rng.randrange(vector.length)), base=col, fp=True
+            )
+            if i >= 1:
+                p = rot(i - 1)
+                yield k.fmul(p[2], p[0], p[1])
+            if i >= 2:
+                p = rot(i - 2)
+                yield k.fadd(p[3], p[2], p[0])
+            if i >= 3 and i % 8 == 0:
+                p = rot(i - 3)
+                yield k.store(p[3], vector.addr((i // 8) % vector.length), fp=True)
+            yield k.loop_branch("smvp")
+
+
+class Facerec(Workload):
+    """facerec: face recognition (Gabor wavelets).
+
+    Blocked 2-D convolutions with strong reuse inside a ~640 KB image +
+    filter set; mostly L2-resident, so the CP keeps nearly all of it.
+    """
+
+    name = "facerec"
+    suite = "fp"
+    description = "image conv: blocked 2-D reuse, mostly cache resident"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        image = ArrayRef.alloc(k.space, 64 * KB, 8)        # 512 KB
+        filt = ArrayRef.alloc(k.space, 16 * KB, 8)         # 128 KB
+        rot = RotatingRegs(k, 4, 6)                        # p0,p1,w,m0,m1,s
+        row = 256
+        for i in itertools.count():
+            base = (i * 3) % (image.length - row - 1)
+            r = rot(i)
+            yield k.load(r[0], image.addr(base), fp=True)
+            yield k.load(r[1], image.addr(base + row), fp=True)
+            yield k.load(r[2], filt.addr(i % filt.length), fp=True)
+            if i >= 1:
+                p = rot(i - 1)
+                yield k.fmul(p[3], p[0], p[2])
+                yield k.fmul(p[4], p[1], p[2])
+            if i >= 2:
+                p = rot(i - 2)
+                yield k.fadd(p[5], p[3], p[4])
+            if i >= 3 and i % 4 == 0:
+                p = rot(i - 3)
+                yield k.store(p[5], image.addr((i * 5) % image.length), fp=True)
+            yield k.loop_branch("conv")
+
+
+class Fma3d(Workload):
+    """fma3d: crash simulation (explicit FEM).
+
+    Element arrays (~1.5 MB) visited in batches of contiguous loads, then
+    scattered connectivity updates; pipelined multiply-add strings per
+    element.
+    """
+
+    name = "fma3d"
+    suite = "fp"
+    description = "crash FEM: element batches + scattered updates"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        elements = ArrayRef.alloc(k.space, 192 * KB, 8)    # 1.5 MB
+        nodes = ArrayRef.alloc(k.space, 64 * KB, 8)        # 512 KB
+        rng = k.rng
+        rot = RotatingRegs(k, 4, 5)                        # e0,e1,f0,f1,s
+        for i in itertools.count():
+            r = rot(i)
+            yield k.load(r[0], elements.addr(3 * i), fp=True)
+            yield k.load(r[1], elements.addr(3 * i + 1), fp=True)
+            if i >= 1:
+                p = rot(i - 1)
+                yield k.fmul(p[2], p[0], p[1])
+                yield k.fadd(p[3], p[0], p[1])
+            if i >= 2:
+                p = rot(i - 2)
+                yield k.fmul(p[4], p[2], p[3])
+            if i >= 3:
+                p = rot(i - 3)
+                yield k.store(p[4], nodes.addr(rng.randrange(nodes.length)), fp=True)
+            yield k.loop_branch("element")
+
+
+class Galgel(Workload):
+    """galgel: Galerkin fluid-dynamics eigenproblem.
+
+    Dense linear algebra on ~384 KB matrices with blocked reuse: almost
+    everything hits in a 512 KB L2, making this the most cache-friendly
+    SpecFP benchmark — and the one whose LLIB stays nearly empty.
+    """
+
+    name = "galgel"
+    suite = "fp"
+    description = "dense LA: blocked reuse, nearly cache resident"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        matrix = ArrayRef.alloc(k.space, 32 * KB, 8)       # 256 KB
+        vec = ArrayRef.alloc(k.space, 16 * KB, 8)          # 128 KB
+        rot = RotatingRegs(k, 3, 4)                        # m, v, prod, s
+        accs = k.fregs(4)
+        for i in itertools.count():
+            r = rot(i)
+            yield k.load(r[0], matrix.addr((i * 5) % matrix.length), fp=True)
+            yield k.load(r[1], vec.addr(i % vec.length), fp=True)
+            if i >= 1:
+                p = rot(i - 1)
+                yield k.fmul(p[2], p[0], p[1])
+                yield k.fadd(p[3], p[0], p[1])
+            if i >= 2:
+                p = rot(i - 2)
+                yield k.fadd(accs[i % 4], accs[i % 4], p[2])
+                yield k.fmul(accs[(i + 1) % 4], accs[(i + 1) % 4], p[3])
+            if i % 16 == 0:
+                yield k.store(accs[i % 4], vec.addr((i // 16) % vec.length), fp=True)
+            yield k.loop_branch("gemv")
+
+
+class Lucas(Workload):
+    """lucas: Lucas-Lehmer primality testing (FFT squaring).
+
+    Power-of-two strided passes over a ~2 MB array (FFT butterflies):
+    large strides touch a new line almost every access, so the miss rate
+    is high and bursty; butterflies are independent, so MLP is ample.
+    """
+
+    name = "lucas"
+    suite = "fp"
+    description = "FFT: power-of-two strides over 2 MB, high MLP"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        data = ArrayRef.alloc(k.space, 256 * KB, 8)        # 2 MB
+        rot = RotatingRegs(k, 4, 5)                        # re0,im0,re1,tw,s
+        for i in itertools.count():
+            stride = 1 << (3 + (i % 6))                    # 8..256 elements
+            a = (i * 2) % data.length
+            b = (a + stride) % data.length
+            r = rot(i)
+            yield k.load(r[0], data.addr(a), fp=True)
+            yield k.load(r[1], data.addr(b), fp=True)
+            if i >= 1:
+                p = rot(i - 1)
+                yield k.fmul(p[2], p[0], p[1])
+                yield k.fadd(p[3], p[0], p[1])
+            if i >= 2:
+                p = rot(i - 2)
+                yield k.fadd(p[4], p[2], p[3])
+            if i >= 3:
+                p = rot(i - 3)
+                yield k.store(p[4], data.addr((i - 3) * 2 % data.length), fp=True)
+            yield k.loop_branch("butterfly")
+
+
+class Mesa(Workload):
+    """mesa: software 3-D rendering.
+
+    Vertex transform pipeline over a small (~192 KB) vertex buffer: long
+    multiply-add strings on cached data, near-peak IPC everywhere — the
+    FP benchmark least affected by the memory wall.
+    """
+
+    name = "mesa"
+    suite = "fp"
+    description = "3-D rendering: transform pipeline, cache resident"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        verts = ArrayRef.alloc(k.space, 24 * KB, 8)        # 192 KB
+        rot = RotatingRegs(k, 3, 6)                        # vx,vy,vz,t1,t2,t3
+        for i in itertools.count():
+            r = rot(i)
+            yield k.load(r[0], verts.addr(3 * i), fp=True)
+            yield k.load(r[1], verts.addr(3 * i + 1), fp=True)
+            yield k.load(r[2], verts.addr(3 * i + 2), fp=True)
+            if i >= 1:
+                p = rot(i - 1)
+                yield k.fmul(p[3], p[0], p[1])
+                yield k.fmul(p[4], p[1], p[2])
+                yield k.fadd(p[5], p[0], p[2])
+            if i >= 2:
+                p = rot(i - 2)
+                yield k.fadd(p[3], p[3], p[4])
+                yield k.store(p[5], verts.addr(3 * (i - 2)), fp=True)
+            yield k.loop_branch("vertex")
+
+
+class Mgrid(Workload):
+    """mgrid: 3-D multigrid Poisson solver.
+
+    27-point stencils over a ~2 MB grid: unit-stride with plane-strided
+    neighbours, strong line reuse within a plane but streaming across
+    planes; the archetype of Figure 2's IPC recovery at large windows.
+    """
+
+    name = "mgrid"
+    suite = "fp"
+    description = "multigrid: 3-D stencil, streaming across planes"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        grid = ArrayRef.alloc(k.space, 224 * KB, 8)        # 1.75 MB
+        out = ArrayRef.alloc(k.space, 64 * KB, 8)          # 512 KB
+        rot = RotatingRegs(k, 5, 6)                        # c,n1,n2,s1,s2,s3
+        plane = 4096
+        for i in itertools.count():
+            r = rot(i)
+            yield k.load(r[0], grid.addr(i), fp=True)
+            yield k.load(r[1], grid.addr(i + 1), fp=True)
+            yield k.load(r[2], grid.addr(i + plane), fp=True)
+            if i >= 1:
+                p = rot(i - 1)
+                yield k.fadd(p[3], p[0], p[1])
+            if i >= 2:
+                p = rot(i - 2)
+                yield k.fadd(p[4], p[3], p[2])
+            if i >= 3:
+                p = rot(i - 3)
+                yield k.fmul(p[5], p[4], p[0])
+            if i >= 4:
+                p = rot(i - 4)
+                yield k.store(p[5], out.addr((i - 4) % out.length), fp=True)
+            yield k.loop_branch("stencil")
+
+
+class Sixtrack(Workload):
+    """sixtrack: particle tracking in an accelerator lattice.
+
+    Tight per-particle map evaluation: heavy multiply-add with an
+    occasional divide, tiny (~128 KB) working set; compute bound with the
+    longest pure-FP dependence chains of the suite (kept deliberately
+    unpipelined — the recurrence is physical).
+    """
+
+    name = "sixtrack"
+    suite = "fp"
+    description = "particle tracking: compute bound, FP-div spiced"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        particles = ArrayRef.alloc(k.space, 16 * KB, 8)    # 128 KB
+        px, pv, m0, m1, t0, t1 = k.fregs(6)
+        for i in itertools.count():
+            yield k.load(px, particles.addr(2 * i), fp=True)
+            yield k.load(pv, particles.addr(2 * i + 1), fp=True)
+            yield k.fmul(m0, px, pv)
+            yield k.fadd(m1, px, pv)       # independent of m0
+            yield k.fmul(t0, m0, px)
+            yield k.fadd(t1, m1, pv)       # independent of t0
+            yield k.fadd(m0, t0, t1)
+            if i % 16 == 0:
+                yield k.fdiv(m1, m0, t0)
+            yield k.store(m0, particles.addr(2 * i), fp=True)
+            yield k.loop_branch("turn")
+
+
+class Swim(Workload):
+    """swim: shallow-water weather model.
+
+    The classic memory-bound stencil: three ~1.25 MB grids swept with unit
+    stride every timestep, no reuse inside the sweep.  The paper's
+    headline effect — large windows recovering almost all IPC lost to a
+    400-cycle memory — is at its strongest here.
+    """
+
+    name = "swim"
+    suite = "fp"
+    description = "shallow water: ~4 MB of streaming stencils"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        u = ArrayRef.alloc(k.space, 160 * KB, 8)           # 1.25 MB each
+        v = ArrayRef.alloc(k.space, 160 * KB, 8)
+        p = ArrayRef.alloc(k.space, 160 * KB, 8)
+        rot = RotatingRegs(k, 4, 5)                        # u0,v0,p0,t1,t2
+        for i in itertools.count():
+            r = rot(i)
+            yield k.load(r[0], u.addr(i), fp=True)
+            yield k.load(r[1], v.addr(i), fp=True)
+            yield k.load(r[2], p.addr(i), fp=True)
+            if i >= 1:
+                q = rot(i - 1)
+                yield k.fadd(q[3], q[0], q[1])             # t1 = u+v
+            if i >= 2:
+                q = rot(i - 2)
+                yield k.fmul(q[4], q[3], q[2])             # t2 = t1*p
+            if i >= 3:
+                q = rot(i - 3)
+                yield k.store(q[4], u.addr(i - 3), fp=True)
+            yield k.loop_branch("timestep")
+
+
+class Wupwise(Workload):
+    """wupwise: lattice QCD (Wilson fermions).
+
+    3x3 complex matrix-vector products at each lattice site: batches of
+    contiguous loads from a ~1.75 MB gauge field followed by dense
+    multiply-add blocks — streaming with high arithmetic intensity.
+    """
+
+    name = "wupwise"
+    suite = "fp"
+    description = "lattice QCD: SU(3) MxV, streaming + dense MACs"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        gauge = ArrayRef.alloc(k.space, 224 * KB, 8)       # 1.75 MB
+        spinor = ArrayRef.alloc(k.space, 32 * KB, 8)       # 256 KB
+        rot = RotatingRegs(k, 4, 6)                        # g0,g1,s0,m0,m1,a
+        for i in itertools.count():
+            r = rot(i)
+            yield k.load(r[0], gauge.addr(2 * i), fp=True)
+            yield k.load(r[1], gauge.addr(2 * i + 1), fp=True)
+            yield k.load(r[2], spinor.addr(i % spinor.length), fp=True)
+            if i >= 1:
+                p = rot(i - 1)
+                yield k.fmul(p[3], p[0], p[2])
+                yield k.fmul(p[4], p[1], p[2])
+            if i >= 2:
+                p = rot(i - 2)
+                yield k.fadd(p[5], p[3], p[4])
+            if i >= 3 and i % 4 == 0:
+                p = rot(i - 3)
+                yield k.store(p[5], spinor.addr((i * 5) % spinor.length), fp=True)
+            yield k.loop_branch("site")
+
+
+#: All SpecFP workload classes in the paper's figure order.
+SPECFP_WORKLOADS = [
+    Ammp,
+    Applu,
+    Apsi,
+    Art,
+    Equake,
+    Facerec,
+    Fma3d,
+    Galgel,
+    Lucas,
+    Mesa,
+    Mgrid,
+    Sixtrack,
+    Swim,
+    Wupwise,
+]

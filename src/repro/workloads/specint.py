@@ -1,0 +1,463 @@
+"""Synthetic SpecINT 2000: twelve integer benchmarks.
+
+Each class models the documented kernel behaviour of its namesake — data
+structures, access patterns, dependence shapes and branch behaviour.
+Unlike SpecFP, integer codes are mostly *cache resident*: the bulk of
+their accesses hit a hot region that fits in (or near) the L2, and their
+IPC is bounded by branch resolution and dependence chains rather than by
+memory bandwidth.  What makes them interesting for this paper are the two
+misbehaviours of Section 2 that large instruction windows cannot fix:
+
+* **pointer chasing** — serial chains of cache misses (`mcf`, `gap`,
+  `parser`): the next address depends on the previous load, so misses
+  cannot overlap;
+* **branch mispredictions that depend on uncached data** (`mcf`, `twolf`,
+  `gcc`): fetch cannot be redirected until the miss returns, stalling the
+  machine for a full memory round trip.
+
+Every benchmark therefore has a *hot* working set (mostly hitting after
+warm-up) and, where its namesake warrants it, a *cold* region and one of
+the signature pathologies above.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.isa import Instruction
+from repro.trace.kernel import Kernel
+from repro.trace.layout import ArrayRef, LinkedList
+from repro.workloads.base import Workload
+
+KB = 1024
+MB = 1024 * KB
+
+
+class Bzip2(Workload):
+    """bzip2: block-sorting compression.
+
+    Sequential byte-stream loads over the current ~256 KB block with a
+    Burrows-Wheeler-style permutation lookup (random within the block) and
+    run-length comparison branches of moderate predictability.
+    """
+
+    name = "bzip2"
+    suite = "int"
+    description = "block compression: sequential + permuted block access"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        block = ArrayRef.alloc(k.space, 32 * KB, 8)        # 256 KB block
+        perm = ArrayRef.alloc(k.space, 16 * KB, 8)         # 128 KB pointers
+        rng = k.rng
+        val, idx, tmp, acc, run, freq = k.iregs(6)
+        for i in itertools.count():
+            yield k.load(val, block.addr(i))
+            yield k.alu(acc, acc, val)
+            yield k.alu(run, run, run)                      # run-length update
+            yield k.load(idx, perm.addr((i * 7) % perm.length))
+            yield k.alu(tmp, idx, run)
+            yield k.alu(freq, freq, tmp)
+            yield k.branch("cmp", srcs=(run,), taken=rng.random() < 0.88)
+            yield k.alu(acc, acc, freq)
+            if i % 4 == 0:
+                yield k.store(acc, block.addr(i % block.length))
+            yield k.loop_branch("sort")
+
+
+class Crafty(Workload):
+    """crafty: chess search.
+
+    Bitboard arithmetic (dense, mostly independent ALU strings, almost no
+    memory traffic) plus a transposition-table probe every few nodes: a
+    single random load into a ~1.5 MB hash table whose outcome drives a
+    biased branch — crafty's only long-latency events, and an instance of
+    the paper's miss-dependent-branch pathology at low intensity.
+    """
+
+    name = "crafty"
+    suite = "int"
+    description = "chess: bitboard ALU work + hash-table probes"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        ttable = ArrayRef.alloc(k.space, 192 * KB, 8)      # 1.5 MB
+        board = ArrayRef.alloc(k.space, 4 * KB, 8)         # 32 KB, hot
+        rng = k.rng
+        b1, b2, b3, b4, key, probe, sq = k.iregs(7)
+        for i in itertools.count():
+            # Bitboard move generation: independent ALU pairs.
+            yield k.load(sq, board.addr(i % board.length))
+            yield k.alu(b1, b1, sq)
+            yield k.alu(b2, b2, sq)
+            yield k.alu(b3, b3, b1)
+            yield k.alu(b4, b4, b2)
+            yield k.alu(key, b3, b4)
+            yield k.branch("legal", srcs=(key,), taken=rng.random() < 0.94)
+            yield k.alu(b1, b1, key)
+            yield k.alu(b2, b2, key)
+            if i % 4 == 0:
+                # Transposition-table probe (random line in 1.5 MB).
+                yield k.load(probe, ttable.addr(rng.randrange(ttable.length)))
+                yield k.branch("tt-hit", srcs=(probe,), taken=rng.random() < 0.9)
+            if i % 8 == 0:
+                # History/killer-move table update.
+                yield k.store(key, board.addr((i * 3) % board.length))
+            yield k.loop_branch("search")
+
+
+class Eon(Workload):
+    """eon: C++ probabilistic ray tracer.
+
+    Small working set (scene data in ~192 KB), regular object traversal,
+    highly predictable intersection tests; the most cache-friendly of the
+    integer suite, approaching the front end's peak on every machine.
+    """
+
+    name = "eon"
+    suite = "int"
+    description = "ray tracing: small working set, regular control"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        scene = ArrayRef.alloc(k.space, 24 * KB, 8)        # 192 KB
+        rng = k.rng
+        ox, oy, dz, obj, t0, t1 = k.iregs(6)
+        for i in itertools.count():
+            yield k.load(obj, scene.addr((i * 3) % scene.length))
+            yield k.alu(ox, ox, obj)
+            yield k.alu(oy, oy, obj)                        # independent of ox
+            yield k.alu(t0, ox, oy)
+            yield k.alu(t1, obj, oy)                        # independent of t0
+            yield k.alu(dz, t0, t1)
+            yield k.branch("hit-test", srcs=(dz,), taken=rng.random() < 0.97)
+            yield k.alu(ox, ox, t1)
+            if i % 8 == 0:
+                yield k.store(dz, scene.addr(i % scene.length))
+            yield k.loop_branch("ray")
+
+
+class Gap(Workload):
+    """gap: computational group theory.
+
+    Bag-of-objects heap: mostly hot handle arithmetic with a two-hop
+    pointer chain into a ~1 MB arena every few objects — a milder version
+    of mcf's serial-miss behaviour.
+    """
+
+    name = "gap"
+    suite = "int"
+    description = "group theory: heap handles + occasional pointer chains"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        heap = LinkedList(k.space, nodes=16 * KB, node_size=64, rng=k.rng)  # 1 MB
+        handles = ArrayRef.alloc(k.space, 16 * KB, 8)      # 128 KB, hot
+        rng = k.rng
+        ptr, handle, val, acc, t0 = k.iregs(5)
+        for i in itertools.count():
+            yield k.load(handle, handles.addr((i * 5) % handles.length))
+            yield k.alu(val, handle, acc)
+            yield k.alu(t0, handle, val)
+            yield k.alu(acc, acc, t0)
+            yield k.branch("type", srcs=(val,), taken=rng.random() < 0.92)
+            if i % 4 == 0:
+                # Two-hop chain: the second load's base is the first's
+                # destination, so a miss pair serializes.
+                yield k.load(ptr, heap.advance())
+                yield k.load(val, heap.advance(), base=ptr)
+                yield k.alu(acc, acc, val)
+            if i % 6 == 0:
+                yield k.store(acc, handles.addr(i % handles.length))
+            yield k.loop_branch("obj")
+
+
+class Gcc(Workload):
+    """gcc: optimizing compiler.
+
+    A hot ~256 KB flow-graph region with dense, middling-predictability
+    branching, plus excursions into a cold ~2 MB RTL arena whose fetched
+    values feed a branch — the miss-dependent-branch pathology at moderate
+    rate.
+    """
+
+    name = "gcc"
+    suite = "int"
+    description = "compiler: hot flow graph + cold 2 MB RTL, branch dense"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        rtl = ArrayRef.alloc(k.space, 256 * KB, 8)         # 2 MB, cold
+        # Hot region allocated last so warm-up leaves it cache resident.
+        flow = ArrayRef.alloc(k.space, 32 * KB, 8)         # 256 KB, hot
+        rng = k.rng
+        node, op, flags, acc, t0 = k.iregs(5)
+        for i in itertools.count():
+            yield k.load(flags, flow.addr((i * 5) % flow.length))
+            yield k.alu(op, flags, acc)
+            yield k.alu(t0, flags, flags)
+            yield k.branch("opcode", srcs=(op,), taken=rng.random() < 0.88)
+            yield k.alu(acc, acc, t0)
+            yield k.alu(node, op, t0)
+            yield k.alu(t0, node, acc)
+            yield k.alu(op, op, node)
+            yield k.branch("flag", srcs=(t0,), taken=rng.random() < 0.91)
+            if i % 6 == 0:
+                # Cold RTL walk: fetched value drives the next decision.
+                yield k.load(node, rtl.addr(rng.randrange(rtl.length)))
+                yield k.branch("pattern", srcs=(node,), taken=rng.random() < 0.9)
+                yield k.alu(acc, acc, node)
+            if i % 5 == 0:
+                yield k.store(acc, flow.addr(i % flow.length))
+            yield k.loop_branch("pass")
+
+
+class Gzip(Workload):
+    """gzip: LZ77 compression.
+
+    Hash-head lookup followed by a chain probe inside a hot 256 KB sliding
+    window, then byte-compare branches; high hit rates once the window is
+    warm, so gzip is throughput- rather than latency-bound.
+    """
+
+    name = "gzip"
+    suite = "int"
+    description = "LZ77: hash chains inside a 256 KB window"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        window = ArrayRef.alloc(k.space, 32 * KB, 8)       # 256 KB
+        heads = ArrayRef.alloc(k.space, 8 * KB, 8)         # 64 KB
+        rng = k.rng
+        h, pos, match, length, t0 = k.iregs(5)
+        for i in itertools.count():
+            yield k.alu(h, h, pos)                          # hash update
+            yield k.load(pos, heads.addr((i * 3) % heads.length))
+            yield k.load(match, window.addr((i * 11) % window.length))
+            yield k.alu(length, match, h)
+            yield k.alu(t0, match, pos)
+            yield k.branch("match-len", srcs=(length,), taken=rng.random() < 0.9)
+            yield k.alu(length, length, t0)
+            if i % 3 == 0:
+                yield k.store(length, window.addr((i * 13) % window.length))
+            yield k.loop_branch("deflate")
+
+
+class Mcf(Workload):
+    """mcf: network-simplex minimum-cost flow — the pointer chaser.
+
+    The pricing sweep scans a hot arc array (plain ILP), but every
+    iteration ends in a pointer-chase burst over a ~3 MB arena: each hop's
+    address comes from the previous load, so the misses serialize into
+    chains no instruction window can overlap (Section 2's first
+    misbehaviour).  The cost-comparison branch reads the fetched node, so
+    a mispredict on uncached data stalls fetch for the full memory latency
+    (the second misbehaviour).  This is the benchmark that fills the
+    integer LLIB in Figure 13.
+    """
+
+    name = "mcf"
+    suite = "int"
+    description = "min-cost flow: pointer-chase bursts over 3 MB"
+
+    #: Dependent hops per pointer-chase burst.
+    CHAIN_LENGTH = 3
+    #: Sequential arc-scan iterations between chase bursts.
+    SCAN_ITERATIONS = 3
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        arcs = LinkedList(k.space, nodes=48 * KB, node_size=64, rng=k.rng)  # 3 MB
+        basin = ArrayRef.alloc(k.space, 48 * KB, 8)        # 384 KB arc array
+        rng = k.rng
+        ptr, cost, best, flow, red = k.iregs(5)
+        for i in itertools.count():
+            # Pricing sweep: sequential scans of the arc array (mostly
+            # cache hits, plain ILP).
+            for j in range(self.SCAN_ITERATIONS):
+                yield k.load(cost, basin.addr((i * 3 + j) % basin.length))
+                yield k.alu(red, red, cost)
+                yield k.alu(best, cost, best)
+                yield k.branch("admissible", srcs=(red,), taken=rng.random() < 0.94)
+            # Burst start: pivot from the scan (address known immediately,
+            # so different bursts can overlap in a large window).
+            yield k.load(ptr, basin.addr(i % basin.length))
+            yield k.alu(flow, flow, ptr)
+            for _hop in range(self.CHAIN_LENGTH):
+                # Serial chain: each hop's base is the previous hop's value.
+                yield k.load(ptr, arcs.advance(), base=ptr)
+                yield k.alu(cost, ptr, best)
+            # Cost comparison on just-fetched (usually uncached) data.
+            yield k.branch("price", srcs=(cost,), taken=rng.random() < 0.92)
+            yield k.alu(flow, flow, best)
+            if i % 8 == 0:
+                yield k.store(flow, arcs.current())
+            yield k.loop_branch("simplex")
+
+
+class Parser(Workload):
+    """parser: link-grammar natural-language parser.
+
+    Hot dictionary-expression evaluation with a hard backtracking branch,
+    plus a pointer hop into a cold ~1 MB dictionary every several words —
+    both pathologies at mild intensity over a branchy core.
+    """
+
+    name = "parser"
+    suite = "int"
+    description = "NL parsing: branchy core + cold dictionary chains"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        dictionary = LinkedList(k.space, nodes=16 * KB, node_size=64, rng=k.rng)
+        exprs = ArrayRef.alloc(k.space, 24 * KB, 8)        # 192 KB, hot
+        rng = k.rng
+        ptr, entry, score, depth, t0 = k.iregs(5)
+        for i in itertools.count():
+            yield k.load(entry, exprs.addr((i * 3) % exprs.length))
+            yield k.alu(score, entry, depth)
+            yield k.alu(t0, entry, score)
+            # Backtracking decision: hard to predict but short latency.
+            yield k.branch("backtrack", srcs=(score,), taken=rng.random() < 0.82)
+            yield k.alu(depth, depth, t0)
+            if i % 5 == 0:
+                # Cold dictionary hop (value feeds the next comparison).
+                yield k.load(ptr, dictionary.advance())
+                yield k.load(entry, dictionary.advance(), base=ptr)
+                yield k.alu(score, score, entry)
+            if i % 7 == 0:
+                yield k.store(depth, exprs.addr(i % exprs.length))
+            yield k.loop_branch("parse")
+
+
+class Perlbmk(Workload):
+    """perlbmk: Perl interpreter.
+
+    Bytecode dispatch over a warm opcode stream with the least predictable
+    branch of the suite (indirect dispatch approximated by a low-bias
+    conditional), operand loads from a warm ~256 KB pad, and stack
+    arithmetic.
+    """
+
+    name = "perlbmk"
+    suite = "int"
+    description = "interpreter: bytecode dispatch, hard branches"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        bytecode = ArrayRef.alloc(k.space, 8 * KB, 8)      # 64 KB, warm
+        pad = ArrayRef.alloc(k.space, 32 * KB, 8)          # 256 KB
+        rng = k.rng
+        op, a, b, sp, t0 = k.iregs(5)
+        for i in itertools.count():
+            yield k.load(op, bytecode.addr(i % bytecode.length))
+            # Dispatch: modelled as a hard conditional on the opcode.
+            yield k.branch("dispatch", srcs=(op,), taken=rng.random() < 0.75)
+            yield k.load(a, pad.addr((i * 9) % pad.length))
+            yield k.alu(b, a, op)
+            yield k.alu(t0, a, sp)
+            yield k.alu(sp, sp, b)
+            yield k.alu(b, b, t0)
+            yield k.store(b, pad.addr((i * 9) % pad.length))
+            yield k.loop_branch("vm")
+
+
+class Twolf(Workload):
+    """twolf: standard-cell place and route.
+
+    Simulated annealing: hot cell lookups plus a cold ~1 MB net structure
+    whose fetched cost feeds the accept/reject branch — a data-dependent
+    branch behind (sometimes) uncached loads.
+    """
+
+    name = "twolf"
+    suite = "int"
+    description = "place&route: hot cells + cold nets, accept branches"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        nets = ArrayRef.alloc(k.space, 128 * KB, 8)        # 1 MB, cold
+        # Hot region allocated last so warm-up leaves it cache resident.
+        cells = ArrayRef.alloc(k.space, 24 * KB, 8)        # 192 KB, hot
+        rng = k.rng
+        c1, c2, cost, temp, t0 = k.iregs(5)
+        for i in itertools.count():
+            yield k.load(c1, cells.addr((i * 7) % cells.length))
+            yield k.alu(cost, c1, temp)
+            yield k.alu(t0, c1, cost)
+            yield k.branch("feasible", srcs=(cost,), taken=rng.random() < 0.9)
+            yield k.alu(temp, temp, t0)
+            if i % 5 == 0:
+                # Cold net lookup; the accept branch reads its value.
+                yield k.load(c2, nets.addr(rng.randrange(nets.length)))
+                yield k.alu(cost, c2, temp)
+                yield k.branch("accept", srcs=(cost,), taken=rng.random() < 0.8)
+            if i % 4 == 0:
+                yield k.store(cost, cells.addr((i * 7) % cells.length))
+            yield k.loop_branch("anneal")
+
+
+class Vortex(Workload):
+    """vortex: object-oriented database.
+
+    Object traversal over a hot ~512 KB mapped store: single-hop loads
+    with well-predicted type checks and bursts of field arithmetic; the
+    best behaved of the pointer-style benchmarks.
+    """
+
+    name = "vortex"
+    suite = "int"
+    description = "OO database: object graph traversal, predictable checks"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        store = ArrayRef.alloc(k.space, 64 * KB, 8)        # 512 KB
+        rng = k.rng
+        obj, fld, key, acc, t0 = k.iregs(5)
+        for i in itertools.count():
+            yield k.load(obj, store.addr((i * 13) % store.length))
+            yield k.branch("type-ok", srcs=(obj,), taken=rng.random() < 0.96)
+            yield k.load(fld, store.addr((i * 17) % store.length))
+            yield k.alu(key, fld, acc)
+            yield k.alu(t0, fld, obj)
+            yield k.alu(acc, acc, key)
+            yield k.alu(key, key, t0)
+            if i % 5 == 0:
+                yield k.store(acc, store.addr((i * 23) % store.length))
+            yield k.loop_branch("txn")
+
+
+class Vpr(Workload):
+    """vpr: FPGA placement.
+
+    Random swaps over a hot ~512 KB routing-resource graph with a
+    moderately biased accept branch on computed (short-latency) deltas;
+    similar shape to twolf but without the cold-region excursions.
+    """
+
+    name = "vpr"
+    suite = "int"
+    description = "FPGA placement: random RR-graph access + swap branches"
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        rr_graph = ArrayRef.alloc(k.space, 64 * KB, 8)     # 512 KB
+        rng = k.rng
+        n1, n2, delta, best, t0 = k.iregs(5)
+        for i in itertools.count():
+            yield k.load(n1, rr_graph.addr((i * 19) % rr_graph.length))
+            yield k.load(n2, rr_graph.addr((i * 29) % rr_graph.length))
+            yield k.alu(delta, n1, n2)
+            yield k.alu(t0, n1, best)
+            yield k.branch("swap", srcs=(delta,), taken=rng.random() < 0.85)
+            yield k.alu(best, best, t0)
+            yield k.alu(delta, delta, best)
+            if i % 6 == 0:
+                yield k.store(best, rr_graph.addr((i * 19) % rr_graph.length))
+            yield k.loop_branch("place")
+
+
+#: All SpecINT workload classes in the paper's figure order.
+SPECINT_WORKLOADS = [
+    Bzip2,
+    Crafty,
+    Eon,
+    Gap,
+    Gcc,
+    Gzip,
+    Mcf,
+    Parser,
+    Perlbmk,
+    Twolf,
+    Vortex,
+    Vpr,
+]

@@ -1,0 +1,115 @@
+"""Unit tests for the execution-locality analysis toolkit."""
+
+import pytest
+
+from repro.analysis import classify_locality, mlp_profile, slice_profile
+from repro.isa import InstructionBuilder
+from repro.memory import DEFAULT_MEMORY, MemoryHierarchy, warm_caches
+from repro.workloads import get_workload
+
+
+def fresh_hierarchy(workload=None):
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    if workload is not None:
+        warm_caches(h, workload.regions)
+    return h
+
+
+def test_pure_alu_is_all_high_locality():
+    b = InstructionBuilder()
+    trace = [b.alu(1 + (i % 4), 29, 30) for i in range(100)]
+    report = classify_locality(trace, fresh_hierarchy())
+    assert report.low_locality == 0
+    assert report.low_fraction == 0.0
+
+
+def test_miss_consumers_are_low_locality():
+    b = InstructionBuilder()
+    trace = [
+        b.load(1, 30, addr=0x100_0000),   # cold miss
+        b.alu(2, 1, 1),                   # consumer -> low
+        b.alu(3, 2, 2),                   # transitive -> low
+        b.alu(4, 29, 30),                 # independent -> high
+    ]
+    report = classify_locality(trace, fresh_hierarchy())
+    assert report.flags == [False, True, True, False]
+    assert report.long_latency_loads == 1
+    assert report.low_by_op["alu"] == 2
+
+
+def test_short_redefinition_clears_taint():
+    b = InstructionBuilder()
+    trace = [
+        b.load(1, 30, addr=0x100_0000),   # miss taints r1
+        b.alu(1, 29, 30),                 # short redefinition of r1
+        b.alu(2, 1, 1),                   # reads the clean r1 -> high
+    ]
+    report = classify_locality(trace, fresh_hierarchy())
+    assert report.flags == [False, False, False]
+
+
+def test_cached_loads_do_not_taint():
+    b = InstructionBuilder()
+    trace = [b.load(1, 30, addr=0x100_0000), b.alu(2, 1, 1)]  # cold miss
+    # Enough intervening work for the fill to land (the analysis advances
+    # a nominal 1-instruction-per-cycle clock).
+    trace += [b.alu(3 + (i % 4), 29, 30) for i in range(450)]
+    for _ in range(3):
+        trace.append(b.load(1, 30, addr=0x100_0000))  # now cached
+        trace.append(b.alu(2, 1, 1))
+    report = classify_locality(trace, fresh_hierarchy())
+    # only the first load's consumer is low locality
+    assert sum(report.flags) == 1
+
+
+def test_fp_suite_low_fraction_matches_llib_traffic():
+    """The functional classification approximates the timed CP/MP split."""
+    workload = get_workload("swim")
+    trace = workload.trace(4_000)
+    report = classify_locality(trace, fresh_hierarchy(workload))
+    assert 0.1 < report.low_fraction < 0.8
+
+
+def test_cache_resident_code_is_high_locality():
+    workload = get_workload("mesa")
+    trace = workload.trace(4_000)
+    report = classify_locality(trace, fresh_hierarchy(workload))
+    assert report.low_fraction < 0.05
+
+
+def test_slice_profile_groups_contiguous_runs():
+    from repro.analysis.locality import LocalityReport
+
+    report = LocalityReport(flags=[False, True, True, False] * 10 + [False] * 10)
+    # gap=4: single high-locality separators merge consecutive runs
+    merged = slice_profile(report, gap=4)
+    split = slice_profile(report, gap=1)
+    assert split.slices == 10
+    assert merged.total_instructions == split.total_instructions == 20
+    assert merged.longest >= split.longest
+
+
+def test_slice_histogram_buckets_are_powers_of_two():
+    workload = get_workload("mcf")
+    trace = workload.trace(3_000)
+    report = classify_locality(trace, fresh_hierarchy(workload))
+    slices = slice_profile(report)
+    for bucket in slices.histogram:
+        assert bucket & (bucket - 1) == 0
+
+
+def test_mlp_streaming_vs_chasing():
+    """Figure 4 in numbers: streaming FP exposes overlap, chains do not."""
+    swim, mcf = get_workload("swim"), get_workload("mcf")
+    swim_mlp = mlp_profile(swim.trace(4_000), fresh_hierarchy(swim), window=256)
+    mcf_mlp = mlp_profile(mcf.trace(4_000), fresh_hierarchy(mcf), window=256)
+    assert swim_mlp.mean_overlap > mcf_mlp.mean_overlap
+    assert swim_mlp.mean_overlap > 3
+
+
+def test_mlp_no_misses():
+    b = InstructionBuilder()
+    trace = [b.alu(1, 29, 30) for _ in range(100)]
+    report = mlp_profile(trace, fresh_hierarchy(), window=32)
+    assert report.total_misses == 0
+    assert report.mean_overlap == 0.0

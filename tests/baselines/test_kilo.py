@@ -1,0 +1,114 @@
+"""Unit tests for the KILO-1024 comparator."""
+
+import dataclasses
+
+from repro.branch import AlwaysTakenPredictor
+from repro.baselines.kilo import KiloCore
+from repro.baselines.ooo import R10Core
+from repro.memory import DEFAULT_MEMORY, MemoryHierarchy
+from repro.sim.config import KILO_1024, R10_64, KiloConfig
+
+from tests.conftest import make_alu_chain, make_load_chain
+
+
+def run_kilo(trace, config=KILO_1024):
+    core = KiloCore(
+        iter(trace), config, MemoryHierarchy(DEFAULT_MEMORY), AlwaysTakenPredictor()
+    )
+    return core.run(len(trace))
+
+
+def run_r10(trace):
+    core = R10Core(
+        iter(trace), R10_64, MemoryHierarchy(DEFAULT_MEMORY), AlwaysTakenPredictor()
+    )
+    return core.run(len(trace))
+
+
+def _miss_shadow_trace(misses=8, shadow=100):
+    """Independent misses separated by independent shadow work."""
+    from repro.isa import InstructionBuilder
+
+    b = InstructionBuilder()
+    out = []
+    for m in range(misses):
+        out.append(b.load(1, 30, addr=0x100_0000 + m * (1 << 14)))
+        out.append(b.alu(2, 1, 1))  # consumer of the miss
+        for i in range(shadow):
+            out.append(b.alu(3 + (i % 4), 29, 30))
+    return out
+
+
+def test_kilo_overlaps_misses_beyond_small_rob():
+    trace = _miss_shadow_trace()
+    kilo = run_kilo(trace)
+    r10 = run_r10(trace)
+    assert kilo.cycles < r10.cycles * 0.7
+
+
+def test_slices_move_to_sliq():
+    trace = _miss_shadow_trace()
+    stats = run_kilo(trace)
+    assert stats.llib_insertions >= 8  # at least the miss consumers
+
+
+def test_commit_accounting_complete():
+    trace = _miss_shadow_trace(misses=4, shadow=40)
+    stats = run_kilo(trace)
+    assert stats.committed == len(trace)
+    assert stats.committed_cp + stats.committed_mp == len(trace)
+
+
+def test_pure_alu_code_avoids_sliq():
+    stats = run_kilo(make_alu_chain(300, dep=False))
+    assert stats.llib_insertions == 0
+    assert stats.ipc > 3.0
+
+
+def test_serial_chains_execute_via_ooo_wakeup():
+    """A pointer chase completes and stays ordered (no deadlock, no loss)."""
+    trace = make_load_chain(12, stride=1 << 14)
+    stats = run_kilo(trace)
+    assert stats.committed == 12
+
+
+def test_sliq_reissue_delay_costs_cycles():
+    """A small delay hides under the memory latency the slice is already
+    waiting for; a delay longer than the memory latency must show up."""
+    fast = dataclasses.replace(KILO_1024, sliq_reissue_delay=0)
+    slow = dataclasses.replace(KILO_1024, sliq_reissue_delay=1500)
+    trace = make_load_chain(10, stride=1 << 14)
+    t_fast = run_kilo(trace, fast).cycles
+    t_small = run_kilo(trace, KILO_1024).cycles
+    t_slow = run_kilo(trace, slow).cycles
+    assert t_small <= t_fast * 1.05    # the default 4-cycle delay hides
+    assert t_slow > t_fast + 1000      # a 1500-cycle delay cannot
+
+
+def test_sliq_occupancy_recorded():
+    trace = _miss_shadow_trace(misses=6, shadow=150)
+    stats = run_kilo(trace)
+    assert stats.llib_max_instructions_int > 0
+
+
+def test_mispredicted_slice_branch_pays_recovery():
+    from repro.isa import InstructionBuilder, OpClass
+
+    b = InstructionBuilder()
+    trace = [b.load(1, 30, addr=0x200_0000)]
+    trace.append(
+        b.emit(OpClass.BRANCH, srcs=(1,), taken=False, target=0, pc=0x7000)
+    )  # depends on the miss; always-taken predictor mispredicts
+    trace += [b.alu(2 + (i % 4), 29, 30) for i in range(30)]
+    stats = run_kilo(trace)
+    assert stats.checkpoint_recoveries >= 1
+    assert stats.cycles > 400  # waited out the memory latency
+
+
+def test_out_of_order_commit_keeps_window_moving():
+    """Short-latency chains do not cap the effective window at the
+    pseudo-ROB size (multicheckpointing commits out of order)."""
+    deep_chain = make_alu_chain(400, dep=True)
+    kilo = run_kilo(deep_chain)
+    r10 = run_r10(deep_chain)
+    assert kilo.cycles <= r10.cycles * 1.1

@@ -1,0 +1,121 @@
+"""Unit tests for the R10000-style out-of-order core."""
+
+import pytest
+
+from repro.branch import AlwaysTakenPredictor, make_predictor
+from repro.baselines.ooo import R10Core
+from repro.memory import DEFAULT_MEMORY, MemoryHierarchy, TABLE1_CONFIGS
+from repro.sim.config import R10_64, CoreConfig, SchedulerPolicy
+
+from tests.conftest import make_alu_chain, make_load_chain, make_loop
+
+
+def run(trace, config=R10_64, memory=DEFAULT_MEMORY, predictor=None):
+    core = R10Core(
+        iter(trace),
+        config,
+        MemoryHierarchy(memory),
+        predictor or AlwaysTakenPredictor(),
+    )
+    return core.run(len(trace))
+
+
+def test_independent_alu_reaches_full_width():
+    stats = run(make_alu_chain(400, dep=False))
+    assert stats.ipc > 3.0
+
+
+def test_dependent_chain_serializes():
+    stats = run(make_alu_chain(400, dep=True))
+    assert 0.8 <= stats.ipc <= 1.1
+
+
+def test_perfect_cache_loads_are_fast():
+    trace = make_load_chain(50, stride=0)  # same address repeatedly
+    stats = run(trace, memory=TABLE1_CONFIGS["L1-2"])
+    # serial chain of 2-cycle loads + 1-cycle agen
+    assert stats.cycles < 50 * 5
+
+
+def test_memory_chain_costs_full_latency_each():
+    trace = make_load_chain(20, stride=1 << 14)
+    stats = run(trace)
+    assert stats.cycles > 20 * 400
+
+
+def test_rob_capacity_limits_overlap():
+    """Two independent misses ~100 instructions apart overlap only when the
+    ROB is large enough to hold the span between them."""
+    from repro.isa import InstructionBuilder
+
+    def trace():
+        b = InstructionBuilder()
+        out = [b.load(1, 30, addr=0x10_0000)]
+        out += [b.alu(2 + (i % 4), 29, 30) for i in range(120)]
+        out.append(b.load(5, 30, addr=0x20_0000))
+        out += [b.alu(6, 5, 5)]
+        return out
+
+    small = run(trace(), config=CoreConfig(name="small", rob_size=32))
+    large = run(trace(), config=CoreConfig(name="large", rob_size=256, iq_int=160))
+    assert large.cycles < small.cycles - 300  # misses overlapped
+
+
+def test_correct_branches_are_cheap():
+    trace = make_loop(iterations=40, body_alu=3, taken=True)
+    stats = run(trace)  # always-taken predictor is always right here
+    assert stats.branch_mispredictions == 0
+    assert stats.ipc > 1.2
+
+
+def test_mispredicted_branches_stall_fetch():
+    trace = make_loop(iterations=40, body_alu=3, taken=False)
+    stats = run(trace)  # always-taken predictor is always wrong
+    assert stats.branch_mispredictions == 40
+    assert stats.fetch_stall_cycles > 40
+    assert stats.ipc < 1.0
+
+
+def test_in_order_config_is_slower_on_mixed_code():
+    from repro.isa import InstructionBuilder
+
+    b = InstructionBuilder()
+    trace = []
+    for i in range(60):
+        trace.append(b.load(1, 30, addr=0x10_0000 + i * 8))
+        trace.append(b.alu(2, 1, 1))       # depends on load
+        trace.append(b.alu(3 + (i % 3), 29, 30))  # independent
+    ooo = run(trace)
+    ino = run(
+        trace,
+        config=CoreConfig(name="ino", scheduler=SchedulerPolicy.IN_ORDER),
+    )
+    assert ino.cycles >= ooo.cycles
+
+
+def test_store_load_forwarding_path():
+    from repro.isa import InstructionBuilder
+
+    b = InstructionBuilder()
+    trace = []
+    for i in range(30):
+        trace.append(b.store(1, 30, addr=0x50_0000))
+        trace.append(b.load(2, 30, addr=0x50_0000))
+        trace.append(b.alu(1, 2, 2))
+    stats = run(trace)
+    assert stats.committed == 90
+
+
+def test_stats_accounting_consistent():
+    trace = make_loop(iterations=30, body_alu=4, taken=True)
+    stats = run(trace, predictor=make_predictor("perceptron"))
+    assert stats.committed == len(trace)
+    assert stats.fetched >= stats.committed
+    assert stats.cycles > 0
+
+
+def test_lsq_capacity_bounds_dispatch():
+    config = CoreConfig(name="tiny-lsq", lsq_size=2)
+    trace = make_load_chain(10, stride=1 << 14)
+    stats = run(trace, config=config)
+    assert stats.committed == 10  # completes despite the tiny LSQ

@@ -1,0 +1,136 @@
+"""Unit and property tests for the branch predictors."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.branch import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GSharePredictor,
+    NeverTakenPredictor,
+    PerceptronPredictor,
+    make_predictor,
+)
+
+ALL_NAMES = ["perceptron", "gshare", "bimodal", "always-taken", "never-taken"]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_factory_builds_each_predictor(name):
+    predictor = make_predictor(name)
+    predictor.update(0x1000, True)
+    assert predictor.predictions == 1
+
+
+def test_factory_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        make_predictor("tage")
+
+
+@pytest.mark.parametrize("name", ["perceptron", "gshare", "bimodal"])
+def test_learns_strongly_biased_branch(name):
+    predictor = make_predictor(name)
+    for _ in range(200):
+        predictor.update(0x4000, True)
+    predictor.reset_stats()
+    for _ in range(100):
+        predictor.update(0x4000, True)
+    assert predictor.accuracy >= 0.99
+
+
+@pytest.mark.parametrize("name", ["perceptron", "gshare"])
+def test_learns_alternating_pattern(name):
+    """History-based predictors must learn a period-2 pattern perfectly."""
+    predictor = make_predictor(name)
+    for i in range(400):
+        predictor.update(0x4000, i % 2 == 0)
+    predictor.reset_stats()
+    for i in range(100):
+        predictor.update(0x4000, i % 2 == 0)
+    assert predictor.accuracy >= 0.98
+
+
+def test_bimodal_cannot_learn_alternation():
+    predictor = BimodalPredictor()
+    for i in range(400):
+        predictor.update(0x4000, i % 2 == 0)
+    assert predictor.accuracy <= 0.75
+
+
+def test_perceptron_beats_random_on_correlated_branches():
+    """Branch B repeats the outcome of branch A — a correlation only a
+    history-based predictor can exploit."""
+    rng = random.Random(42)
+    perceptron = PerceptronPredictor()
+    bimodal = BimodalPredictor()
+    for _ in range(2000):
+        outcome = rng.random() < 0.5
+        for predictor in (perceptron, bimodal):
+            predictor.update(0x100, outcome)
+            predictor.update(0x200, outcome)
+    assert perceptron.accuracy > bimodal.accuracy + 0.15
+
+
+def test_perceptron_threshold_formula():
+    predictor = PerceptronPredictor(history_length=24)
+    assert predictor.threshold == int(1.93 * 24 + 14)
+
+
+def test_perceptron_weights_saturate():
+    predictor = PerceptronPredictor(num_perceptrons=4, history_length=4, weight_bits=4)
+    for _ in range(1000):
+        predictor.update(0x0, True)
+    weights = predictor._weights[predictor._index(0x0)]
+    assert all(-8 <= w <= 7 for w in weights)
+
+
+def test_perceptron_validates_arguments():
+    with pytest.raises(ValueError):
+        PerceptronPredictor(num_perceptrons=100)  # not a power of two
+    with pytest.raises(ValueError):
+        PerceptronPredictor(history_length=0)
+
+
+def test_gshare_validates_arguments():
+    with pytest.raises(ValueError):
+        GSharePredictor(table_bits=8, history_length=10)
+
+
+def test_static_predictors():
+    taken = AlwaysTakenPredictor()
+    never = NeverTakenPredictor()
+    assert taken.predict(0x0) is True
+    assert never.predict(0x0) is False
+    taken.update(0x0, False)
+    assert taken.mispredictions == 1
+    never.update(0x0, False)
+    assert never.mispredictions == 0
+
+
+def test_accuracy_without_predictions_is_one():
+    assert PerceptronPredictor().accuracy == 1.0
+
+
+def test_reset_stats_keeps_learned_state():
+    predictor = PerceptronPredictor()
+    for _ in range(200):
+        predictor.update(0x4000, True)
+    predictor.reset_stats()
+    assert predictor.predictions == 0
+    assert predictor.predict(0x4000) is True
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 1 << 20), st.booleans()), min_size=1, max_size=200)
+)
+def test_property_stats_always_consistent(events):
+    """For any update sequence: mispredictions <= predictions, and accuracy
+    stays within [0, 1]."""
+    predictor = PerceptronPredictor(num_perceptrons=16, history_length=8)
+    for pc, taken in events:
+        predictor.update(pc, taken)
+    assert 0 <= predictor.mispredictions <= predictor.predictions == len(events)
+    assert 0.0 <= predictor.accuracy <= 1.0

@@ -1,0 +1,65 @@
+"""Shared fixtures: tiny deterministic traces and machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.branch import make_predictor
+from repro.isa import InstructionBuilder, OpClass
+from repro.memory import DEFAULT_MEMORY, MemoryHierarchy
+from repro.sim.stats import SimStats
+
+
+@pytest.fixture
+def builder() -> InstructionBuilder:
+    return InstructionBuilder()
+
+
+@pytest.fixture
+def hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy(DEFAULT_MEMORY)
+
+
+@pytest.fixture
+def predictor():
+    return make_predictor("perceptron")
+
+
+@pytest.fixture
+def stats() -> SimStats:
+    return SimStats()
+
+
+def make_alu_chain(n: int, dep: bool = False):
+    """A trace of *n* ALU ops: independent, or one serial chain."""
+    b = InstructionBuilder()
+    out = []
+    for i in range(n):
+        if dep:
+            out.append(b.alu(1, 1, 2))
+        else:
+            out.append(b.alu(1 + (i % 8), 30, 29))
+    return out
+
+
+def make_load_chain(n: int, base_addr: int = 0x10_0000, stride: int = 4096):
+    """A serial pointer chase: each load's base is the previous dest."""
+    b = InstructionBuilder()
+    out = []
+    for i in range(n):
+        out.append(b.load(dest=1, base=1, addr=base_addr + i * stride))
+    return out
+
+
+def make_loop(iterations: int, body_alu: int = 3, taken: bool = True):
+    """iterations x (ALU body + loop branch) with stable branch pc."""
+    b = InstructionBuilder()
+    out = []
+    branch_pc = 0x9000
+    for i in range(iterations):
+        for j in range(body_alu):
+            out.append(b.alu(1 + (j % 4), 30, 29))
+        out.append(
+            b.emit(OpClass.BRANCH, srcs=(31,), taken=taken, target=0x100, pc=branch_pc)
+        )
+    return out

@@ -1,0 +1,76 @@
+"""Unit tests for the Aging-ROB."""
+
+import pytest
+
+from repro.core.aging_rob import AgingRob
+from repro.isa import InstructionBuilder
+from repro.pipeline.entry import InFlight
+
+
+def entry(dispatch_cycle=0):
+    b = InstructionBuilder()
+    e = InFlight(b.alu(1, 2, 3), fetch_cycle=dispatch_cycle)
+    e.dispatch_cycle = dispatch_cycle
+    return e
+
+
+def test_capacity_enforced():
+    rob = AgingRob(capacity=2, timer=4)
+    rob.push(entry())
+    rob.push(entry())
+    assert not rob.has_space
+    with pytest.raises(RuntimeError):
+        rob.push(entry())
+
+
+def test_head_matures_after_timer():
+    rob = AgingRob(capacity=8, timer=16)
+    e = entry(dispatch_cycle=10)
+    rob.push(e)
+    assert rob.head_mature(now=20) is None
+    assert rob.head_mature(now=25) is None
+    assert rob.head_mature(now=26) is e
+
+
+def test_head_vs_head_mature():
+    rob = AgingRob(capacity=8, timer=16)
+    e = entry(dispatch_cycle=0)
+    rob.push(e)
+    assert rob.head() is e          # visible immediately
+    assert rob.head_mature(0) is None
+
+
+def test_fifo_order():
+    rob = AgingRob(capacity=8, timer=0)
+    first, second = entry(0), entry(0)
+    rob.push(first)
+    rob.push(second)
+    assert rob.pop_head() is first
+    assert rob.pop_head() is second
+    assert len(rob) == 0
+
+
+def test_timer_zero_is_immediate():
+    rob = AgingRob(capacity=4, timer=0)
+    e = entry(dispatch_cycle=5)
+    rob.push(e)
+    assert rob.head_mature(now=5) is e
+
+
+def test_empty_rob():
+    rob = AgingRob(capacity=4, timer=4)
+    assert rob.head() is None
+    assert rob.head_mature(0) is None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AgingRob(capacity=0, timer=4)
+    with pytest.raises(ValueError):
+        AgingRob(capacity=4, timer=-1)
+
+
+def test_paper_sizing_relationship():
+    """Table 2: ROB capacity = timer x commit width (16 x 4 = 64)."""
+    rob = AgingRob(capacity=16 * 4, timer=16)
+    assert rob.capacity == 64

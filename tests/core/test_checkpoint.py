@@ -1,0 +1,91 @@
+"""Unit tests for the checkpoint stack."""
+
+from repro.core.checkpoint import CheckpointStack
+
+
+def test_take_and_policy():
+    stack = CheckpointStack(capacity=4, interval=3)
+    assert stack.should_take()           # no live checkpoint yet
+    checkpoint = stack.take(seq=10, now=100)
+    assert checkpoint is not None
+    assert not stack.should_take()       # fresh checkpoint covers us
+    stack.assign()
+    stack.assign()
+    stack.assign()
+    assert stack.should_take()           # interval reached
+
+
+def test_assign_charges_newest():
+    stack = CheckpointStack(capacity=2, interval=100)
+    first = stack.take(seq=1, now=0)
+    stack.assign()
+    second = stack.take(seq=5, now=10)
+    stack.assign()
+    assert first.pending == 1
+    assert second.pending == 1
+
+
+def test_writeback_releases_drained_oldest():
+    stack = CheckpointStack(capacity=2, interval=100)
+    checkpoint = stack.take(seq=1, now=0)
+    stack.assign()
+    stack.assign()
+    stack.writeback(checkpoint)
+    assert len(stack) == 1               # one writeback left
+    stack.writeback(checkpoint)
+    assert len(stack) == 0
+    assert stack.released == 1
+
+
+def test_release_is_in_order():
+    stack = CheckpointStack(capacity=4, interval=100)
+    old = stack.take(seq=1, now=0)
+    stack.assign()
+    new = stack.take(seq=9, now=5)
+    stack.assign()
+    stack.writeback(new)                 # newer drains first
+    assert len(stack) == 2               # old still pins the stack
+    stack.writeback(old)
+    assert len(stack) == 0
+
+
+def test_capacity_overflow_skips():
+    stack = CheckpointStack(capacity=1, interval=1)
+    stack.take(seq=1, now=0)
+    assert stack.take(seq=2, now=1) is None
+    assert stack.overflow_skips == 1
+
+
+def test_assign_without_checkpoint():
+    stack = CheckpointStack(capacity=1, interval=10)
+    assert stack.assign() is None
+
+
+def test_writeback_none_is_noop():
+    stack = CheckpointStack()
+    stack.writeback(None)
+
+
+def test_recover_squashes_younger():
+    stack = CheckpointStack(capacity=4, interval=100)
+    stack.take(seq=10, now=0)
+    stack.assign()
+    stack.take(seq=20, now=1)
+    stack.assign()
+    stack.take(seq=30, now=2)
+    stack.assign()
+    squashed = stack.recover(seq=15)
+    assert squashed == 2
+    assert len(stack) == 1
+    assert stack.recoveries == 1
+
+
+def test_recover_with_empty_stack():
+    stack = CheckpointStack()
+    assert stack.recover(seq=0) == 0
+
+
+def test_tracked_registers_recorded():
+    stack = CheckpointStack()
+    checkpoint = stack.take(seq=1, now=0, tracked_registers=(3, 7))
+    assert checkpoint.tracked_registers == (3, 7)

@@ -1,0 +1,159 @@
+"""Integration-grade unit tests for the full D-KIP processor."""
+
+import dataclasses
+
+import pytest
+
+from repro.branch import AlwaysTakenPredictor
+from repro.baselines.ooo import R10Core
+from repro.core.dkip import DkipProcessor
+from repro.isa import InstructionBuilder, OpClass
+from repro.isa.registers import fp_reg
+from repro.memory import DEFAULT_MEMORY, MemoryHierarchy
+from repro.sim.config import DKIP_2048, R10_64
+
+from tests.conftest import make_alu_chain, make_load_chain
+
+
+def run_dkip(trace, config=DKIP_2048):
+    core = DkipProcessor(
+        iter(trace), config, MemoryHierarchy(DEFAULT_MEMORY), AlwaysTakenPredictor()
+    )
+    stats = core.run(len(trace))
+    return core, stats
+
+
+def run_r10(trace):
+    core = R10Core(
+        iter(trace), R10_64, MemoryHierarchy(DEFAULT_MEMORY), AlwaysTakenPredictor()
+    )
+    return core.run(len(trace))
+
+
+def _miss_shadow_trace(misses=8, shadow=100, fp=False):
+    b = InstructionBuilder()
+    out = []
+    for m in range(misses):
+        if fp:
+            out.append(
+                b.emit(OpClass.FP_LOAD, dest=fp_reg(1), srcs=(30,), addr=0x100_0000 + m * (1 << 14))
+            )
+            out.append(b.emit(OpClass.FP_ADD, dest=fp_reg(2), srcs=(fp_reg(1), fp_reg(3))))
+        else:
+            out.append(b.load(1, 30, addr=0x100_0000 + m * (1 << 14)))
+            out.append(b.alu(2, 1, 1))
+        for i in range(shadow):
+            out.append(b.alu(3 + (i % 4), 29, 30))
+    return out
+
+
+def test_everything_commits_exactly_once():
+    trace = _miss_shadow_trace(misses=6, shadow=60)
+    _, stats = run_dkip(trace)
+    assert stats.committed == len(trace)
+    assert stats.committed_cp + stats.committed_mp == len(trace)
+
+
+def test_miss_consumers_flow_through_the_llib():
+    trace = _miss_shadow_trace()
+    core, stats = run_dkip(trace)
+    assert stats.llib_insertions >= 8
+    assert stats.committed_mp >= 8
+
+
+def test_fp_slices_use_the_fp_llib():
+    trace = _miss_shadow_trace(fp=True)
+    core, stats = run_dkip(trace)
+    assert stats.llib_max_instructions_fp > 0
+    assert stats.llib_max_instructions_int == 0
+
+
+def test_dkip_beats_small_core_on_independent_misses():
+    trace = _miss_shadow_trace(misses=10, shadow=120)
+    _, dkip = run_dkip(trace)
+    r10 = run_r10(trace)
+    assert dkip.cycles < r10.cycles * 0.7
+
+
+def test_pure_alu_code_stays_in_the_cp():
+    _, stats = run_dkip(make_alu_chain(300, dep=False))
+    assert stats.llib_insertions == 0
+    assert stats.cp_fraction == 1.0
+    assert stats.ipc > 3.0
+
+
+def test_serial_load_chain_serializes_through_llib():
+    trace = make_load_chain(10, stride=1 << 14)
+    _, stats = run_dkip(trace)
+    assert stats.committed == 10
+    assert stats.cycles > 10 * 400  # the D-KIP cannot break true chains
+
+
+def test_checkpoints_taken_for_slices():
+    trace = _miss_shadow_trace(misses=6, shadow=80)
+    _, stats = run_dkip(trace)
+    assert stats.checkpoints_taken >= 1
+
+
+def test_low_locality_mispredict_triggers_recovery():
+    b = InstructionBuilder()
+    trace = [b.load(1, 30, addr=0x300_0000)]
+    trace.append(b.emit(OpClass.BRANCH, srcs=(1,), taken=False, target=0, pc=0x7000))
+    trace += [b.alu(2 + (i % 4), 29, 30) for i in range(40)]
+    core, stats = run_dkip(trace)
+    assert stats.checkpoint_recoveries == 1
+    assert core.llbv.set_count == 0      # recovery cleared the LLBV
+    assert stats.cycles > 400
+
+
+def test_high_locality_mispredict_is_cheap():
+    b = InstructionBuilder()
+    trace = []
+    for i in range(20):
+        trace.append(b.alu(1, 29, 30))
+        trace.append(b.emit(OpClass.BRANCH, srcs=(1,), taken=False, target=0, pc=0x7000))
+    _, stats = run_dkip(trace)
+    assert stats.checkpoint_recoveries == 0
+    assert stats.cycles < 20 * 60
+
+
+def test_analyze_stalls_are_counted():
+    b = InstructionBuilder()
+    trace = []
+    for i in range(40):
+        trace.append(b.emit(OpClass.FP_DIV, dest=fp_reg(1), srcs=(fp_reg(2), fp_reg(3))))
+        trace.append(b.emit(OpClass.FP_DIV, dest=fp_reg(2), srcs=(fp_reg(1), fp_reg(3))))
+    _, stats = run_dkip(trace)
+    assert stats.analyze_stall_cycles > 0  # in-flight shorts stall Analyze
+
+
+def test_llib_capacity_stall_path():
+    tiny = dataclasses.replace(DKIP_2048, name="tiny", llib_size=4)
+    trace = make_load_chain(30, stride=1 << 14)
+    _, stats = run_dkip(trace, config=tiny)
+    assert stats.committed == 30
+
+
+def test_long_latency_loads_deliver_to_value_fifo():
+    trace = _miss_shadow_trace(misses=4, shadow=40)
+    core, _ = run_dkip(trace)
+    assert core.ap.long_latency_loads >= 4
+    assert core.ap.pending_values(fp=False) >= 1
+
+
+def test_llrf_occupancy_reported():
+    b = InstructionBuilder()
+    trace = []
+    for m in range(8):
+        trace.append(b.load(1, 30, addr=0x100_0000 + m * (1 << 14)))
+        trace.append(b.alu(2, 1, 29))  # one READY operand (r29)
+        trace += [b.alu(3 + (i % 4), 29, 30) for i in range(30)]
+    _, stats = run_dkip(trace)
+    assert stats.llib_max_registers_int >= 1
+    assert stats.llib_max_registers_int <= stats.llib_max_instructions_int
+
+
+def test_cp_fraction_between_zero_and_one():
+    trace = _miss_shadow_trace()
+    _, stats = run_dkip(trace)
+    assert 0.0 < stats.cp_fraction <= 1.0

@@ -1,0 +1,70 @@
+"""D-KIP behaviour across its configuration space (Figure-10 axes)."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import DKIP_2048, SchedulerPolicy
+from repro.sim.runner import run_core
+from repro.workloads import get_workload
+
+N = 3_000
+
+
+@pytest.mark.parametrize("cp", ["INO", "OOO-20", "OOO-80"])
+@pytest.mark.parametrize("mp", ["INO", "OOO-40"])
+def test_every_cp_mp_combination_completes(cp, mp):
+    config = DKIP_2048.with_cp(cp).with_mp(mp)
+    stats = run_core(config, get_workload("apsi"), N)
+    assert stats.committed == N
+    assert stats.ipc > 0
+
+
+def test_ooo_cp_beats_ino_cp():
+    workload = get_workload("applu")
+    ino = run_core(DKIP_2048.with_cp("INO"), workload, N)
+    ooo = run_core(DKIP_2048.with_cp("OOO-40"), workload, N)
+    assert ooo.ipc > ino.ipc
+
+
+def test_mp_policy_is_second_order_on_fp():
+    workload = get_workload("swim")
+    ino_mp = run_core(DKIP_2048.with_mp("INO"), workload, N)
+    ooo_mp = run_core(DKIP_2048.with_mp("OOO-40"), workload, N)
+    cp_effect = run_core(DKIP_2048.with_cp("INO"), workload, N)
+    mp_delta = abs(ooo_mp.ipc - ino_mp.ipc)
+    cp_delta = abs(ino_mp.ipc - cp_effect.ipc)
+    assert mp_delta <= cp_delta + 0.05
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        DKIP_2048.with_cp("FAST")
+
+
+def test_tiny_checkpoint_stack_still_correct():
+    config = dataclasses.replace(DKIP_2048, name="chpt-1", checkpoint_stack=1)
+    stats = run_core(config, get_workload("swim"), N)
+    assert stats.committed == N
+
+
+def test_small_checkpoint_interval_takes_more_checkpoints():
+    often = dataclasses.replace(DKIP_2048, name="ck-8", checkpoint_interval=8)
+    rarely = dataclasses.replace(DKIP_2048, name="ck-4096", checkpoint_interval=4096)
+    workload = get_workload("swim")
+    a = run_core(often, workload, N)
+    b = run_core(rarely, workload, N)
+    assert a.checkpoints_taken >= b.checkpoints_taken
+
+
+def test_single_bank_llrf_still_correct():
+    config = dataclasses.replace(
+        DKIP_2048, name="llrf-1", llrf_banks=1, llrf_bank_size=2048
+    )
+    stats = run_core(config, get_workload("ammp"), N)
+    assert stats.committed == N
+
+
+def test_scheduler_policy_enum_round_trip():
+    assert SchedulerPolicy("ino") == SchedulerPolicy.IN_ORDER
+    assert SchedulerPolicy("ooo") == SchedulerPolicy.OUT_OF_ORDER

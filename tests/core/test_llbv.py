@@ -1,0 +1,86 @@
+"""Unit tests for the Low-Locality Bit Vector and its writers log."""
+
+from repro.core.llbv import LowLocalityBitVector
+from repro.isa import InstructionBuilder
+from repro.pipeline.entry import InFlight
+
+
+def make_entry():
+    b = InstructionBuilder()
+    return InFlight(b.alu(1, 2, 3), fetch_cycle=0)
+
+
+def test_mark_and_query():
+    llbv = LowLocalityBitVector()
+    producer = make_entry()
+    llbv.mark(5, producer)
+    assert llbv.is_long(5)
+    assert llbv.producer(5) is producer
+    assert llbv.set_count == 1
+
+
+def test_unmarked_registers_are_short():
+    llbv = LowLocalityBitVector()
+    assert not llbv.is_long(3)
+    assert llbv.producer(3) is None
+
+
+def test_any_long_source():
+    llbv = LowLocalityBitVector()
+    llbv.mark(2, make_entry())
+    b = InstructionBuilder()
+    blocked = InFlight(b.alu(4, 2, 3), fetch_cycle=0)
+    clear = InFlight(b.alu(4, 3, 5), fetch_cycle=0)
+    assert llbv.any_long_source(blocked)
+    assert not llbv.any_long_source(clear)
+
+
+def test_zero_register_sources_ignored():
+    llbv = LowLocalityBitVector()
+    llbv.mark(31, make_entry())  # the zero register can be marked but
+    b = InstructionBuilder()     # consumers never see it as a live source
+    consumer = InFlight(b.alu(1, 31, 31), fetch_cycle=0)
+    assert not llbv.any_long_source(consumer)
+
+
+def test_short_definition_clears():
+    llbv = LowLocalityBitVector()
+    llbv.mark(7, make_entry())
+    llbv.clear_short_definition(7)
+    assert not llbv.is_long(7)
+    assert llbv.short_clears == 1
+    assert llbv.set_count == 0
+
+
+def test_clear_short_definition_on_clear_bit_is_noop():
+    llbv = LowLocalityBitVector()
+    llbv.clear_short_definition(7)
+    assert llbv.short_clears == 0
+
+
+def test_remark_does_not_double_count():
+    llbv = LowLocalityBitVector()
+    llbv.mark(3, make_entry())
+    llbv.mark(3, make_entry())
+    assert llbv.set_count == 1
+    assert llbv.marks == 2
+
+
+def test_recovery_clears_everything():
+    llbv = LowLocalityBitVector()
+    for reg in (1, 5, 40):
+        llbv.mark(reg, make_entry())
+    llbv.clear_all()
+    assert llbv.set_count == 0
+    assert llbv.recovery_clears == 1
+    assert not any(llbv.is_long(r) for r in (1, 5, 40))
+
+
+def test_marks_persist_after_producer_executes():
+    """Paper semantics: MP writeback does NOT clear the bit (results live
+    in the checkpoint stack, not the CP register file)."""
+    llbv = LowLocalityBitVector()
+    producer = make_entry()
+    llbv.mark(9, producer)
+    producer.executed = True
+    assert llbv.is_long(9)

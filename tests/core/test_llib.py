@@ -1,0 +1,123 @@
+"""Unit tests for the Low-Locality Instruction Buffer (FIFO)."""
+
+from repro.core.llib import LowLocalityInstructionBuffer
+from repro.core.llrf import BankedRegisterFile
+from repro.isa import InstructionBuilder
+from repro.pipeline.entry import InFlight
+
+
+def make_llib(capacity=8, banks=2, bank_size=4):
+    return LowLocalityInstructionBuffer(
+        "llib-test", capacity, BankedRegisterFile(banks, bank_size)
+    )
+
+
+def alu_entry(builder):
+    return InFlight(builder.alu(1, 2, 3), fetch_cycle=0)
+
+
+def load_entry(builder, executed=False):
+    e = InFlight(builder.load(4, 5, addr=0x100), fetch_cycle=0)
+    e.executed = executed
+    return e
+
+
+def test_insert_and_extract_fifo_order():
+    llib = make_llib()
+    b = InstructionBuilder()
+    first, second = alu_entry(b), alu_entry(b)
+    assert llib.insert(first, has_ready_operand=False)
+    assert llib.insert(second, has_ready_operand=False)
+    assert llib.head() is first
+    assert llib.extract() is first
+    assert llib.extract() is second
+
+
+def test_insert_sets_ownership_and_tags():
+    llib = make_llib()
+    b = InstructionBuilder()
+    entry = alu_entry(b)
+    llib.insert(entry, has_ready_operand=False)
+    assert entry.where == "llib"
+    assert entry.owner is llib
+
+
+def test_ready_operand_captured_in_llrf():
+    llib = make_llib()
+    b = InstructionBuilder()
+    entry = alu_entry(b)
+    llib.insert(entry, has_ready_operand=True)
+    assert entry.ready_operand_bank >= 0
+    assert llib.llrf.occupancy == 1
+    llib.extract()
+    assert llib.llrf.occupancy == 0  # released at extraction
+    assert entry.ready_operand_bank == -1
+
+
+def test_capacity_stall():
+    llib = make_llib(capacity=1)
+    b = InstructionBuilder()
+    assert llib.insert(alu_entry(b), has_ready_operand=False)
+    assert not llib.insert(alu_entry(b), has_ready_operand=False)
+    assert llib.full_stalls == 1
+    assert not llib.has_space
+
+
+def test_llrf_exhaustion_stalls_insert():
+    llib = make_llib(capacity=8, banks=1, bank_size=1)
+    b = InstructionBuilder()
+    assert llib.insert(alu_entry(b), has_ready_operand=True)
+    assert not llib.insert(alu_entry(b), has_ready_operand=True)
+    # but an operand-free instruction still fits
+    assert llib.insert(alu_entry(b), has_ready_operand=False)
+
+
+def test_head_blocks_on_unexecuted_load_producer():
+    llib = make_llib()
+    b = InstructionBuilder()
+    producer = load_entry(b, executed=False)
+    consumer = alu_entry(b)
+    consumer.sources = (producer,)
+    llib.insert(consumer, has_ready_operand=False)
+    assert not llib.head_extractable()
+    producer.executed = True
+    assert llib.head_extractable()
+
+
+def test_head_does_not_block_on_alu_producer():
+    """Non-load producers are waited for in the MP, not at the head."""
+    llib = make_llib()
+    b = InstructionBuilder()
+    producer = alu_entry(b)       # not executed, but not a load
+    consumer = alu_entry(b)
+    consumer.sources = (producer,)
+    llib.insert(consumer, has_ready_operand=False)
+    assert llib.head_extractable()
+
+
+def test_empty_llib_not_extractable():
+    assert not make_llib().head_extractable()
+
+
+def test_occupancy_statistics():
+    llib = make_llib()
+    b = InstructionBuilder()
+    for _ in range(3):
+        llib.insert(alu_entry(b), has_ready_operand=False)
+    llib.extract()
+    assert llib.max_occupancy == 3
+    assert llib.insertions == 3
+    assert llib.extractions == 1
+    assert len(llib) == 2
+
+
+def test_recovery_drains_younger_entries():
+    llib = make_llib()
+    b = InstructionBuilder()
+    older, younger = alu_entry(b), alu_entry(b)
+    llib.insert(older, has_ready_operand=False)
+    llib.insert(younger, has_ready_operand=True)
+    dropped = llib.drain_younger_than(older.seq)
+    assert dropped == [younger]
+    assert len(llib) == 1
+    assert llib.llrf.occupancy == 0  # captured operand released

@@ -1,0 +1,90 @@
+"""Unit and property tests for the banked Low-Locality Register File."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.llrf import BankedRegisterFile
+
+
+def test_allocation_rotates_across_banks():
+    llrf = BankedRegisterFile(banks=4, bank_size=8)
+    banks = [llrf.allocate() for _ in range(4)]
+    assert sorted(banks) == [0, 1, 2, 3]
+
+
+def test_release_returns_capacity():
+    llrf = BankedRegisterFile(banks=2, bank_size=1)
+    a = llrf.allocate()
+    b = llrf.allocate()
+    assert llrf.allocate() is None
+    llrf.release(a)
+    assert llrf.allocate() == a
+
+
+def test_allocation_failure_when_full():
+    llrf = BankedRegisterFile(banks=2, bank_size=2)
+    for _ in range(4):
+        assert llrf.allocate() is not None
+    assert llrf.allocate() is None
+    assert llrf.failed_allocations == 1
+
+
+def test_fallback_to_non_preferred_bank():
+    llrf = BankedRegisterFile(banks=2, bank_size=2)
+    # Exhaust bank 0 and 1 alternately, then free only bank 1.
+    banks = [llrf.allocate() for _ in range(4)]
+    llrf.release(1)
+    assert llrf.allocate() == 1
+
+
+def test_max_occupancy_high_water_mark():
+    llrf = BankedRegisterFile(banks=2, bank_size=4)
+    allocated = [llrf.allocate() for _ in range(5)]
+    for bank in allocated[:3]:
+        llrf.release(bank)
+    assert llrf.occupancy == 2
+    assert llrf.max_occupancy == 5
+
+
+def test_double_free_detected():
+    llrf = BankedRegisterFile(banks=2, bank_size=2)
+    bank = llrf.allocate()
+    llrf.release(bank)
+    with pytest.raises(RuntimeError):
+        llrf.release(bank)
+
+
+def test_release_validates_bank_index():
+    llrf = BankedRegisterFile(banks=2, bank_size=2)
+    with pytest.raises(ValueError):
+        llrf.release(5)
+
+
+def test_paper_configuration_capacity():
+    """Table 2: 8 banks x 256 registers each per LLIB."""
+    llrf = BankedRegisterFile(banks=8, bank_size=256)
+    assert llrf.capacity == 2048
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        BankedRegisterFile(banks=0, bank_size=4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=400))
+def test_property_occupancy_accounting(ops):
+    """Alternating alloc/release sequences keep the free-count invariant:
+    occupancy == allocations - releases, and never exceeds capacity."""
+    llrf = BankedRegisterFile(banks=4, bank_size=8)
+    live: list[int] = []
+    for do_alloc in ops:
+        if do_alloc:
+            bank = llrf.allocate()
+            if bank is not None:
+                live.append(bank)
+        elif live:
+            llrf.release(live.pop())
+        assert llrf.occupancy == len(live)
+        assert 0 <= llrf.occupancy <= llrf.capacity
+        assert sum(llrf.free_in_bank(b) for b in range(4)) == llrf.capacity - len(live)

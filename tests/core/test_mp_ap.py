@@ -1,0 +1,80 @@
+"""Unit tests for the Memory Processor and Address Processor."""
+
+from repro.core.address_processor import AddressProcessor
+from repro.core.memory_processor import MemoryProcessor
+from repro.isa import InstructionBuilder
+from repro.pipeline.entry import InFlight
+from repro.pipeline.fu import FuKind
+from repro.sim.config import MemoryProcessorConfig, SchedulerPolicy
+
+
+def test_mp_dispatch_tags_and_counts():
+    mp = MemoryProcessor("mp-int", MemoryProcessorConfig())
+    b = InstructionBuilder()
+    entry = InFlight(b.alu(1, 2, 3), fetch_cycle=0)
+    mp.dispatch(entry)
+    assert entry.where == "mp"
+    assert mp.dispatched == 1
+    mp.on_complete(entry)
+    assert mp.completed == 1
+
+
+def test_mp_queue_capacity():
+    config = MemoryProcessorConfig(queue_size=2)
+    mp = MemoryProcessor("mp", config)
+    b = InstructionBuilder()
+    mp.dispatch(InFlight(b.alu(1, 2, 3), fetch_cycle=0))
+    mp.dispatch(InFlight(b.alu(1, 2, 3), fetch_cycle=0))
+    assert not mp.has_space
+
+
+def test_mp_default_is_in_order():
+    mp = MemoryProcessor("mp", MemoryProcessorConfig())
+    assert mp.queue.policy == SchedulerPolicy.IN_ORDER
+    assert mp.queue.size == 20  # Table 3 default
+
+
+def test_mp_fus_are_private():
+    mp = MemoryProcessor("mp", MemoryProcessorConfig())
+    assert mp.fus.available(FuKind.ALU) == 4
+
+
+def test_ap_port_arbitration():
+    ap = AddressProcessor(lsq_size=8, mem_ports=2)
+    ap.new_cycle()
+    assert ap.try_take_port()
+    assert ap.try_take_port()
+    assert not ap.try_take_port()
+    ap.new_cycle()
+    assert ap.try_take_port()
+
+
+def test_ap_value_fifos_split_by_cluster():
+    ap = AddressProcessor()
+    b = InstructionBuilder()
+    from repro.isa import OpClass
+    from repro.isa.registers import fp_reg
+
+    int_load = InFlight(b.load(1, 2, addr=0x10), fetch_cycle=0)
+    fp_load = InFlight(
+        b.emit(OpClass.FP_LOAD, dest=fp_reg(1), srcs=(2,), addr=0x20),
+        fetch_cycle=0,
+    )
+    ap.deliver_value(int_load)
+    ap.deliver_value(fp_load)
+    assert ap.pending_values(fp=False) == 1
+    assert ap.pending_values(fp=True) == 1
+
+
+def test_ap_tracks_long_latency_loads():
+    ap = AddressProcessor()
+    b = InstructionBuilder()
+    load = InFlight(b.load(1, 2, addr=0x10), fetch_cycle=0)
+    ap.track_long_latency_load(load)
+    assert load.where == "ap"
+    assert ap.long_latency_loads == 1
+
+
+def test_ap_owns_the_lsq():
+    ap = AddressProcessor(lsq_size=512)
+    assert ap.lsq.size == 512  # Table 2: 512-entry LSQ

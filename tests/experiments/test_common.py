@@ -1,0 +1,73 @@
+"""Unit tests for the experiment plumbing."""
+
+import os
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    INSTRUCTIONS,
+    QUICK_SUBSET,
+    Scale,
+    Stopwatch,
+    WorkloadPool,
+    mean_ipc,
+    scale_of,
+    suite_names,
+)
+from repro.sim.stats import SimStats
+from repro.workloads import SPECFP_NAMES, SPECINT_NAMES
+
+
+def test_scale_coercion():
+    assert scale_of("quick") == Scale.QUICK
+    assert scale_of(Scale.FULL) == Scale.FULL
+    with pytest.raises(ValueError):
+        scale_of("huge")
+
+
+def test_scales_order_instruction_budgets():
+    assert INSTRUCTIONS[Scale.QUICK] < INSTRUCTIONS[Scale.DEFAULT] < INSTRUCTIONS[Scale.FULL]
+
+
+def test_suite_names_respect_scale():
+    assert suite_names("int", Scale.DEFAULT) == SPECINT_NAMES
+    assert suite_names("fp", Scale.FULL) == SPECFP_NAMES
+    assert suite_names("int", Scale.QUICK) == QUICK_SUBSET["int"]
+
+
+def test_quick_subsets_are_valid_names():
+    assert set(QUICK_SUBSET["int"]) <= set(SPECINT_NAMES)
+    assert set(QUICK_SUBSET["fp"]) <= set(SPECFP_NAMES)
+
+
+def test_workload_pool_caches_instances():
+    pool = WorkloadPool()
+    assert pool.get("swim") is pool.get("swim")
+    assert pool.get("swim") is not pool.get("mcf")
+
+
+def test_mean_ipc():
+    runs = [SimStats(committed=10, cycles=5), SimStats(committed=10, cycles=10)]
+    assert mean_ipc(runs) == pytest.approx(1.5)
+    assert mean_ipc([]) == 0.0
+
+
+def test_result_render_and_csv(tmp_path):
+    result = ExperimentResult(
+        name="unit", title="test", headers=["a", "b"], rows=[[1, 2.5]]
+    )
+    result.notes.append("note")
+    text = result.render()
+    assert "unit" in text and "note" in text
+    path = result.write_csv(str(tmp_path))
+    assert os.path.exists(path)
+    with open(path) as f:
+        assert f.read().startswith("a,b")
+
+
+def test_stopwatch_records_elapsed():
+    result = ExperimentResult(name="x", title="y", headers=[])
+    with Stopwatch(result):
+        pass
+    assert result.elapsed_seconds >= 0.0

@@ -1,0 +1,110 @@
+"""Smoke tests for every experiment harness at quick scale.
+
+These guard the regeneration pipeline itself (the shape assertions live in
+tests/integration/); each harness must produce a well-formed result.
+"""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.common import Scale
+
+
+def test_registry_covers_every_table_and_figure():
+    paper = {
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig9",
+        "fig10",
+        "fig10int",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+    }
+    ablations = {
+        "ablation-timer",
+        "ablation-llib",
+        "ablation-predictor",
+        "ablation-runahead",
+    }
+    assert set(EXPERIMENTS) == paper | ablations
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError):
+        get_experiment("fig99")
+
+
+def test_table1_runs():
+    result = get_experiment("table1")(Scale.QUICK)
+    assert len(result.rows) == 6
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["fig1", "fig2"])
+def test_window_sweeps_run(name):
+    result = get_experiment(name)(Scale.QUICK)
+    assert len(result.rows) == 3          # three memory configs at quick
+    assert len(result.rows[0]) == 5       # label + four window sizes
+    assert result.charts
+
+
+@pytest.mark.slow
+def test_fig3_runs():
+    result = get_experiment("fig3")(Scale.QUICK)
+    fractions = [row[1] for row in result.rows]
+    assert sum(fractions) == pytest.approx(1.0, abs=0.02)
+
+
+@pytest.mark.slow
+def test_fig9_runs():
+    result = get_experiment("fig9")(Scale.QUICK)
+    assert len(result.rows) == 8          # 2 suites x 4 machines
+    assert all(row[2] > 0 for row in result.rows)
+
+
+@pytest.mark.slow
+def test_fig10_runs():
+    result = get_experiment("fig10")(Scale.QUICK)
+    assert len(result.rows) == 3          # three CP configs at quick
+    assert result.notes
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["fig11", "fig12"])
+def test_cache_sweeps_run(name):
+    result = get_experiment(name)(Scale.QUICK)
+    assert len(result.rows) == 3          # R10-256 + two D-KIP configs
+    assert result.charts
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["fig13", "fig14"])
+def test_occupancy_runs(name):
+    result = get_experiment(name)(Scale.QUICK)
+    for _, max_instr, max_regs, _ in result.rows:
+        assert 0 <= max_regs <= max_instr or max_instr == 0
+
+
+def test_cli_list(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig9" in out
+
+
+def test_cli_runs_table1(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["table1", "--scale", "quick"]) == 0
+    assert "MEM-400" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["fig99"]) == 2

@@ -1,0 +1,76 @@
+"""Cross-machine invariants: properties every simulator must satisfy on
+every workload, regardless of calibration."""
+
+import pytest
+
+from repro.sim.config import DKIP_2048, KILO_1024, R10_256, R10_64, RunaheadConfig
+from repro.sim.runner import run_core
+from repro.workloads import get_workload
+
+N = 2_500
+MACHINES = [R10_64, R10_256, KILO_1024, DKIP_2048, RunaheadConfig()]
+WORKLOADS = ["eon", "mcf", "gzip", "swim", "ammp", "mesa", "equake", "twolf"]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    out = {}
+    for bench in WORKLOADS:
+        workload = get_workload(bench)
+        for machine in MACHINES:
+            out[(bench, machine.name)] = run_core(machine, workload, N)
+    return out
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench", WORKLOADS)
+@pytest.mark.parametrize("machine", [m.name for m in MACHINES])
+def test_every_instruction_commits_exactly_once(grid, bench, machine):
+    stats = grid[(bench, machine)]
+    assert stats.committed == N
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench", WORKLOADS)
+def test_ipc_never_exceeds_machine_width(grid, bench):
+    for machine in MACHINES:
+        assert grid[(bench, machine.name)].ipc <= 4.0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench", WORKLOADS)
+def test_dkip_commit_split_is_consistent(grid, bench):
+    stats = grid[(bench, "D-KIP-2048")]
+    assert stats.committed_cp + stats.committed_mp == stats.committed
+    assert stats.llib_max_registers_int <= max(stats.llib_max_instructions_int, 1)
+    assert stats.llib_max_registers_fp <= max(stats.llib_max_instructions_fp, 1)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench", WORKLOADS)
+def test_bigger_window_never_catastrophically_worse(grid, bench):
+    """R10-256 should never fall meaningfully below R10-64 (same design,
+    strictly more resources)."""
+    small = grid[(bench, "R10-64")]
+    large = grid[(bench, "R10-256")]
+    assert large.ipc >= small.ipc * 0.95
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench", WORKLOADS)
+def test_fetch_accounting(grid, bench):
+    for machine in MACHINES:
+        stats = grid[(bench, machine.name)]
+        assert stats.fetched >= stats.committed or machine.name.startswith("runahead")
+
+
+@pytest.mark.slow
+def test_runs_are_order_independent():
+    """Running machines in a different order gives identical results
+    (no hidden shared state between simulations)."""
+    workload = get_workload("gap")
+    first = run_core(DKIP_2048, workload, N).cycles
+    run_core(R10_64, workload, N)
+    run_core(KILO_1024, workload, N)
+    again = run_core(DKIP_2048, workload, N).cycles
+    assert first == again

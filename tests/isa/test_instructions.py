@@ -1,0 +1,99 @@
+"""Unit tests for the Instruction record and builder."""
+
+import pytest
+
+from repro.isa import Instruction, InstructionBuilder, OpClass
+from repro.isa.registers import FP_BASE, FP_ZERO, INT_ZERO, fp_reg
+
+
+def test_basic_alu_instruction():
+    instr = Instruction(seq=0, pc=0x1000, op=OpClass.INT_ALU, dest=1, srcs=(2, 3))
+    assert not instr.is_load and not instr.is_store
+    assert not instr.is_branch and not instr.is_fp
+    assert instr.live_srcs() == (2, 3)
+
+
+def test_load_requires_address():
+    with pytest.raises(ValueError):
+        Instruction(seq=0, pc=0, op=OpClass.LOAD, dest=1, srcs=(2,))
+
+
+def test_branch_requires_outcome():
+    with pytest.raises(ValueError):
+        Instruction(seq=0, pc=0, op=OpClass.BRANCH, srcs=(1,))
+
+
+def test_too_many_sources_rejected():
+    with pytest.raises(ValueError):
+        Instruction(seq=0, pc=0, op=OpClass.INT_ALU, dest=1, srcs=(2, 3, 4))
+
+
+def test_register_range_validated():
+    with pytest.raises(ValueError):
+        Instruction(seq=0, pc=0, op=OpClass.INT_ALU, dest=64)
+    with pytest.raises(ValueError):
+        Instruction(seq=0, pc=0, op=OpClass.INT_ALU, dest=1, srcs=(64,))
+
+
+def test_fp_classification_by_dest():
+    instr = Instruction(
+        seq=0, pc=0, op=OpClass.FP_LOAD, dest=fp_reg(2), srcs=(1,), addr=0x100
+    )
+    assert instr.is_fp and instr.is_load
+
+
+def test_fp_classification_by_op():
+    instr = Instruction(seq=0, pc=0, op=OpClass.FP_STORE, srcs=(FP_BASE, 1), addr=8)
+    assert instr.is_fp and instr.is_store
+
+
+def test_int_load_is_not_fp():
+    instr = Instruction(seq=0, pc=0, op=OpClass.LOAD, dest=3, srcs=(1,), addr=0)
+    assert not instr.is_fp
+
+
+def test_live_srcs_excludes_zero_registers():
+    instr = Instruction(
+        seq=0, pc=0, op=OpClass.INT_ALU, dest=1, srcs=(INT_ZERO, 2)
+    )
+    assert instr.live_srcs() == (2,)
+    fp_instr = Instruction(seq=0, pc=0, op=OpClass.FP_ADD, dest=FP_BASE, srcs=(FP_ZERO,))
+    assert fp_instr.live_srcs() == ()
+
+
+def test_cond_branch_vs_jump():
+    br = Instruction(seq=0, pc=0, op=OpClass.BRANCH, srcs=(1,), taken=True)
+    jmp = Instruction(seq=1, pc=4, op=OpClass.JUMP, taken=True)
+    assert br.is_cond_branch and br.is_branch
+    assert jmp.is_branch and not jmp.is_cond_branch
+
+
+def test_instruction_is_immutable():
+    instr = Instruction(seq=0, pc=0, op=OpClass.INT_ALU, dest=1)
+    with pytest.raises(AttributeError):
+        instr.dest = 2  # type: ignore[misc]
+
+
+def test_builder_sequences_and_pcs():
+    b = InstructionBuilder(start_pc=0x2000)
+    first = b.alu(1, 2, 3)
+    second = b.alu(2, 1, 1)
+    assert (first.seq, second.seq) == (0, 1)
+    assert second.pc == first.pc + 4
+    assert b.next_seq == 2
+
+
+def test_builder_helpers():
+    b = InstructionBuilder()
+    load = b.load(dest=4, base=5, addr=0x800)
+    store = b.store(src=4, base=5, addr=0x808)
+    branch = b.branch(src=4, taken=False)
+    assert load.is_load and load.addr == 0x800
+    assert store.is_store and store.srcs == (4, 5)
+    assert branch.is_branch and branch.taken is False
+
+
+def test_disassemble_contains_key_fields():
+    b = InstructionBuilder()
+    text = b.load(dest=4, base=5, addr=0x800).disassemble()
+    assert "ld" in text and "r4" in text and "0x800" in text

@@ -1,0 +1,36 @@
+"""Unit tests for the latency table."""
+
+import pytest
+
+from repro.isa import DEFAULT_LATENCIES, LatencyTable, OpClass
+
+
+def test_defaults_are_positive():
+    for op in OpClass:
+        assert DEFAULT_LATENCIES.latency_of(op) >= 1
+
+
+def test_relative_latencies_are_sane():
+    lat = DEFAULT_LATENCIES
+    assert lat.latency_of(OpClass.INT_ALU) < lat.latency_of(OpClass.INT_MUL)
+    assert lat.latency_of(OpClass.FP_ADD) < lat.latency_of(OpClass.FP_MUL)
+    assert lat.latency_of(OpClass.FP_MUL) < lat.latency_of(OpClass.FP_DIV)
+
+
+def test_memory_ops_report_agen_only():
+    lat = DEFAULT_LATENCIES
+    for op in (OpClass.LOAD, OpClass.STORE, OpClass.FP_LOAD, OpClass.FP_STORE):
+        assert lat.latency_of(op) == lat.agen
+
+
+def test_custom_table():
+    table = LatencyTable(int_alu=2, fp_div=40)
+    assert table.latency_of(OpClass.INT_ALU) == 2
+    assert table.latency_of(OpClass.FP_DIV) == 40
+    # untouched entries keep their defaults
+    assert table.latency_of(OpClass.FP_MUL) == DEFAULT_LATENCIES.fp_mul
+
+
+def test_table_is_frozen():
+    with pytest.raises(AttributeError):
+        DEFAULT_LATENCIES.int_alu = 5  # type: ignore[misc]

@@ -1,0 +1,62 @@
+"""Unit tests for operation-class predicates."""
+
+import pytest
+
+from repro.isa import (
+    BRANCH_OPS,
+    FP_OPS,
+    INT_OPS,
+    MEM_OPS,
+    OpClass,
+    is_branch_op,
+    is_load_op,
+    is_mem_op,
+    is_store_op,
+)
+
+
+def test_load_ops():
+    assert is_load_op(OpClass.LOAD)
+    assert is_load_op(OpClass.FP_LOAD)
+    assert not is_load_op(OpClass.STORE)
+    assert not is_load_op(OpClass.INT_ALU)
+
+
+def test_store_ops():
+    assert is_store_op(OpClass.STORE)
+    assert is_store_op(OpClass.FP_STORE)
+    assert not is_store_op(OpClass.LOAD)
+
+
+def test_mem_ops_union():
+    for op in (OpClass.LOAD, OpClass.STORE, OpClass.FP_LOAD, OpClass.FP_STORE):
+        assert is_mem_op(op)
+        assert op in MEM_OPS
+    assert not is_mem_op(OpClass.BRANCH)
+
+
+def test_branch_ops():
+    assert is_branch_op(OpClass.BRANCH)
+    assert is_branch_op(OpClass.JUMP)
+    assert not is_branch_op(OpClass.LOAD)
+    assert BRANCH_OPS == {OpClass.BRANCH, OpClass.JUMP}
+
+
+def test_fp_int_partition_covers_everything():
+    assert FP_OPS | INT_OPS == set(OpClass)
+
+
+def test_fp_int_partition_is_disjoint():
+    assert not (FP_OPS & INT_OPS)
+
+
+@pytest.mark.parametrize("op", list(OpClass))
+def test_short_names_unique_and_nonempty(op):
+    assert op.short_name
+    names = [o.short_name for o in OpClass]
+    assert len(set(names)) == len(names)
+
+
+def test_mem_ops_are_classified_exclusively():
+    for op in OpClass:
+        assert not (is_load_op(op) and is_store_op(op))

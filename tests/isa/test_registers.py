@@ -1,0 +1,66 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.isa import (
+    FP_BASE,
+    FP_ZERO,
+    INT_ZERO,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_REGS,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    is_zero_reg,
+    reg_name,
+)
+
+
+def test_register_space_layout():
+    assert NUM_REGS == NUM_INT_REGS + NUM_FP_REGS
+    assert FP_BASE == NUM_INT_REGS
+
+
+def test_int_reg_mapping():
+    assert int_reg(0) == 0
+    assert int_reg(31) == 31
+
+
+def test_fp_reg_mapping():
+    assert fp_reg(0) == FP_BASE
+    assert fp_reg(31) == FP_BASE + 31
+
+
+@pytest.mark.parametrize("index", [-1, 32, 100])
+def test_out_of_range_indices_rejected(index):
+    with pytest.raises(ValueError):
+        int_reg(index)
+    with pytest.raises(ValueError):
+        fp_reg(index)
+
+
+def test_zero_registers():
+    assert is_zero_reg(INT_ZERO)
+    assert is_zero_reg(FP_ZERO)
+    assert not is_zero_reg(0)
+    assert not is_zero_reg(FP_BASE)
+
+
+def test_is_fp_reg_partition():
+    fp_count = sum(1 for r in range(NUM_REGS) if is_fp_reg(r))
+    assert fp_count == NUM_FP_REGS
+
+
+def test_reg_names():
+    assert reg_name(0) == "r0"
+    assert reg_name(INT_ZERO) == "r31"
+    assert reg_name(FP_BASE) == "f0"
+    assert reg_name(FP_ZERO) == "f31"
+
+
+def test_reg_name_out_of_range():
+    with pytest.raises(ValueError):
+        reg_name(NUM_REGS)
+    with pytest.raises(ValueError):
+        reg_name(-1)

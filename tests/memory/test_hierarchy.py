@@ -1,0 +1,101 @@
+"""Unit tests for the assembled memory hierarchy."""
+
+import pytest
+
+from repro.memory import (
+    DEFAULT_MEMORY,
+    MemoryConfig,
+    MemoryHierarchy,
+    TABLE1_CONFIGS,
+    AccessLevel,
+)
+
+
+def test_default_hierarchy_latencies():
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    lat, level = h.access(0x1000)
+    assert level == AccessLevel.MEMORY and lat == 400
+    lat, level = h.access(0x1000, now=500)
+    assert level == AccessLevel.L1 and lat == 2
+
+
+def test_l2_hit_after_l1_eviction():
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    h.access(0x0, now=0)
+    # Evict line 0 from the 32KB 2-way L1 by filling its set.
+    sets = h.l1._num_sets
+    h.access(sets * 64, now=1000)
+    h.access(2 * sets * 64, now=2000)
+    lat, level = h.access(0x0, now=3000)
+    assert level == AccessLevel.L2 and lat == 11
+
+
+def test_infinite_l1_configuration():
+    h = MemoryHierarchy(TABLE1_CONFIGS["L1-2"])
+    lat, level = h.access(0xABC)
+    assert (lat, level) == (2, AccessLevel.L1)
+    lat, level = h.access(0xABC)
+    assert (lat, level) == (2, AccessLevel.L1)
+
+
+def test_infinite_l2_configuration():
+    h = MemoryHierarchy(TABLE1_CONFIGS["L2-21"])
+    lat, level = h.access(0xABC)
+    assert (lat, level) == (21, AccessLevel.L2)
+    lat, level = h.access(0xABC)
+    assert (lat, level) == (2, AccessLevel.L1)
+
+
+def test_pending_fill_overlap():
+    """A second access to a line being fetched pays only the remainder."""
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    h.access(0x40, now=0)               # miss: ready at 400
+    lat, level = h.access(0x48, now=100)  # same line, 100 cycles later
+    assert level == AccessLevel.MEMORY
+    assert lat == h.l1.latency + 300
+
+
+def test_pending_fill_fully_elapsed():
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    h.access(0x40, now=0)
+    lat, level = h.access(0x48, now=401)
+    assert (lat, level) == (2, AccessLevel.L1)
+
+
+def test_touch_is_untimed_and_fills():
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    h.touch(0x2000)
+    assert h.l1.probe(h.l1.line_of(0x2000))
+    assert h.memory.accesses == 0
+
+
+def test_is_long_latency_classification():
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    assert h.is_long_latency(AccessLevel.MEMORY)
+    assert not h.is_long_latency(AccessLevel.L2)
+    assert not h.is_long_latency(AccessLevel.L1)
+
+
+def test_describe_mentions_all_levels():
+    text = MemoryHierarchy(DEFAULT_MEMORY).describe()
+    assert "L1" in text and "L2" in text and "MEM" in text
+
+
+def test_memory_without_l2_rejected():
+    config = MemoryConfig(name="bad", l2_latency=None, mem_latency=400)
+    with pytest.raises(ValueError):
+        MemoryHierarchy(config)
+
+
+def test_reset_stats():
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    h.access(0x40)
+    h.reset_stats()
+    assert h.l1.accesses == 0 and h.l2.accesses == 0 and h.memory.accesses == 0
+
+
+def test_write_allocates():
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    h.access(0x40, write=True, now=0)
+    lat, level = h.access(0x40, now=500)
+    assert level == AccessLevel.L1

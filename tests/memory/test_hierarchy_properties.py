@@ -1,0 +1,58 @@
+"""Property tests over the assembled memory hierarchy."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import DEFAULT_MEMORY, MemoryHierarchy
+from repro.memory.cache import AccessLevel
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1 << 22), st.booleans()),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_latency_matches_reported_level(accesses):
+    """Whatever the access stream, the reported latency is consistent with
+    the reported level: L1 => l1 latency, L2 => l2 latency, MEMORY =>
+    at least the L2 latency and at most memory latency + L1 latency."""
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    now = 0
+    for addr, write in accesses:
+        now += 1
+        latency, level = h.access(addr, write=write, now=now)
+        if level == AccessLevel.L1:
+            assert latency == h.l1.latency
+        elif level == AccessLevel.L2:
+            assert latency == h.l2.latency
+        else:
+            assert h.l2.latency <= latency <= h.memory.latency + h.l1.latency
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1 << 18), min_size=1, max_size=200))
+def test_second_access_is_never_slower(addresses):
+    """Re-accessing an address immediately (after its fill window) is at
+    least as fast as the first access."""
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    now = 0
+    for addr in addresses:
+        now += 1
+        first, _ = h.access(addr, now=now)
+        second, _ = h.access(addr, now=now + first + 1)
+        assert second <= first
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 1 << 22), st.integers(1, 399))
+def test_pending_fill_monotone_countdown(addr, delta):
+    """A second access to an in-flight line pays strictly less than the
+    full latency and strictly more than a hit, proportionally to time."""
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    full, level = h.access(addr, now=0)
+    assert level == AccessLevel.MEMORY
+    partial, level2 = h.access(addr, now=delta)
+    assert level2 == AccessLevel.MEMORY
+    assert partial == h.l1.latency + (full - delta)

@@ -1,0 +1,42 @@
+"""Unit tests for functional cache warm-up."""
+
+from repro.memory import DEFAULT_MEMORY, MemoryHierarchy, warm_caches
+from repro.memory.cache import AccessLevel
+
+
+def test_warmup_touches_every_line():
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    touched = warm_caches(h, [(0, 4096)])
+    assert touched == 64
+    lat, level = h.access(0x0, now=0)
+    assert level == AccessLevel.L1
+
+
+def test_warmup_resets_statistics():
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    warm_caches(h, [(0, 65536)])
+    assert h.l1.accesses == 0
+    assert h.memory.accesses == 0
+
+
+def test_warmup_respects_capacity():
+    """After warming a region larger than the L2, its tail is resident and
+    its head is not — the recency order a real run would leave."""
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    region = 2 * 1024 * 1024
+    warm_caches(h, [(0, region)])
+    head_lat, head_level = h.access(0, now=0)
+    tail_lat, tail_level = h.access(region - 64, now=0)
+    assert head_level == AccessLevel.MEMORY
+    assert tail_level in (AccessLevel.L1, AccessLevel.L2)
+
+
+def test_multiple_passes():
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    touched = warm_caches(h, [(0, 4096), (1 << 20, 4096)], passes=2)
+    assert touched == 128
+
+
+def test_empty_regions():
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    assert warm_caches(h, []) == 0

@@ -1,0 +1,106 @@
+"""Unit tests for the cycle-driver base class (event wheel & wakeup)."""
+
+import pytest
+
+from repro.isa import InstructionBuilder
+from repro.memory import DEFAULT_MEMORY, MemoryHierarchy
+from repro.pipeline.core import CycleCore, DeadlockError
+from repro.pipeline.entry import InFlight
+from repro.sim.stats import SimStats
+
+
+class Recorder:
+    def __init__(self):
+        self.woken = []
+
+    def wake(self, entry):
+        self.woken.append(entry)
+
+
+class TrivialCore(CycleCore):
+    """Commits one instruction per step (for run-loop testing)."""
+
+    def step(self):
+        self.process_completions()
+        self.committed += 1
+
+
+class StuckCore(CycleCore):
+    def step(self):
+        pass
+
+
+def make_core(cls=TrivialCore):
+    return cls("test", MemoryHierarchy(DEFAULT_MEMORY), SimStats())
+
+
+def test_run_counts_cycles():
+    core = make_core()
+    stats = core.run(10)
+    assert stats.committed == 10
+    assert stats.cycles == 10
+
+
+def test_deadlock_guard():
+    core = make_core(StuckCore)
+    with pytest.raises(DeadlockError):
+        core.run(1, max_cycles=100)
+
+
+def test_completion_event_wakes_waiters():
+    core = make_core()
+    b = InstructionBuilder()
+    producer = InFlight(b.alu(1, 2, 3), fetch_cycle=0)
+    waiter = InFlight(b.alu(2, 1, 1), fetch_cycle=0)
+    recorder = Recorder()
+    waiter.unready = 1
+    waiter.owner = recorder
+    producer.add_waiter(waiter)
+    core.schedule_completion(producer, 3)
+    core.now = 3
+    core.process_completions()
+    assert producer.executed
+    assert waiter.unready == 0
+    assert recorder.woken == [waiter]
+
+
+def test_completion_only_fires_at_scheduled_cycle():
+    core = make_core()
+    b = InstructionBuilder()
+    entry = InFlight(b.alu(1, 2, 3), fetch_cycle=0)
+    core.schedule_completion(entry, 5)
+    core.now = 4
+    core.process_completions()
+    assert not entry.executed
+    core.now = 5
+    core.process_completions()
+    assert entry.executed
+
+
+def test_wakeup_waits_for_all_sources():
+    core = make_core()
+    b = InstructionBuilder()
+    p1 = InFlight(b.alu(1, 30, 30), fetch_cycle=0)
+    p2 = InFlight(b.alu(2, 30, 30), fetch_cycle=0)
+    waiter = InFlight(b.alu(3, 1, 2), fetch_cycle=0)
+    recorder = Recorder()
+    waiter.unready = 2
+    waiter.owner = recorder
+    p1.add_waiter(waiter)
+    p2.add_waiter(waiter)
+    core.schedule_completion(p1, 1)
+    core.schedule_completion(p2, 2)
+    core.now = 1
+    core.process_completions()
+    assert recorder.woken == []
+    core.now = 2
+    core.process_completions()
+    assert recorder.woken == [waiter]
+
+
+def test_memory_stats_copied_at_end():
+    core = make_core()
+    core.hierarchy.access(0x40)
+    stats = core.run(1)
+    assert stats.l1_misses == 1
+    assert stats.memory_accesses == 1

@@ -1,0 +1,103 @@
+"""Unit tests for the fetch unit's stall-until-resolve model."""
+
+from repro.branch import AlwaysTakenPredictor, make_predictor
+from repro.isa import InstructionBuilder, OpClass
+from repro.pipeline.fetch import FetchUnit
+from repro.sim.stats import SimStats
+
+from tests.conftest import make_loop
+
+
+def make_fetch(trace, predictor=None, width=4, buffer_size=16, penalty=5):
+    stats = SimStats()
+    predictor = predictor or AlwaysTakenPredictor()
+    return FetchUnit(iter(trace), width, buffer_size, predictor, penalty, stats), stats
+
+
+def test_fetches_width_per_cycle():
+    b = InstructionBuilder()
+    trace = [b.alu(1, 2, 3) for _ in range(12)]
+    fetch, stats = make_fetch(trace)
+    fetch.cycle(0)
+    assert len(fetch.buffer) == 4
+    fetch.cycle(1)
+    assert len(fetch.buffer) == 8
+
+
+def test_buffer_capacity_respected():
+    b = InstructionBuilder()
+    trace = [b.alu(1, 2, 3) for _ in range(100)]
+    fetch, _ = make_fetch(trace, buffer_size=6)
+    fetch.cycle(0)
+    fetch.cycle(1)
+    assert len(fetch.buffer) == 6
+
+
+def test_exhaustion_detected():
+    b = InstructionBuilder()
+    fetch, _ = make_fetch([b.alu(1, 2, 3)])
+    fetch.cycle(0)
+    fetch.cycle(1)
+    assert fetch.exhausted
+
+
+def test_taken_branch_ends_fetch_group():
+    trace = make_loop(iterations=3, body_alu=1, taken=True)
+    fetch, _ = make_fetch(trace)   # always-taken predictor: no mispredicts
+    fetch.cycle(0)
+    assert len(fetch.buffer) == 2  # alu + taken branch end the group
+
+
+def test_mispredict_stalls_until_resolved():
+    trace = make_loop(iterations=2, body_alu=1, taken=False)
+    fetch, stats = make_fetch(trace)  # always-taken => always mispredicted
+    fetch.cycle(0)
+    assert fetch.stalled
+    assert stats.branch_mispredictions == 1
+    buffered = len(fetch.buffer)
+    fetch.cycle(1)
+    assert len(fetch.buffer) == buffered  # no progress while stalled
+    assert stats.fetch_stall_cycles == 1
+
+
+def test_resolution_resumes_after_redirect_penalty():
+    trace = make_loop(iterations=2, body_alu=1, taken=False)
+    fetch, _ = make_fetch(trace, penalty=5)
+    fetch.cycle(0)
+    seq = fetch.waiting_seq
+    assert seq is not None
+    fetch.on_branch_resolved(seq, resolve_cycle=10)
+    assert not fetch.stalled
+    fetch.cycle(12)               # still inside the redirect shadow
+    assert len(fetch.buffer) == 2
+    fetch.cycle(15)               # 10 + 5 penalty => may fetch again
+    assert len(fetch.buffer) > 2
+
+
+def test_unrelated_resolution_ignored():
+    trace = make_loop(iterations=2, body_alu=1, taken=False)
+    fetch, _ = make_fetch(trace)
+    fetch.cycle(0)
+    fetch.on_branch_resolved(999_999, resolve_cycle=3)
+    assert fetch.stalled
+
+
+def test_predictor_updates_counted():
+    trace = make_loop(iterations=3, body_alu=0, taken=True)
+    fetch, stats = make_fetch(trace, predictor=make_predictor("perceptron"))
+    for cycle in range(10):
+        fetch.cycle(cycle)
+        while fetch.pop() is not None:
+            pass
+    assert stats.branch_predictions >= 2
+
+
+def test_pop_and_peek():
+    b = InstructionBuilder()
+    trace = [b.alu(1, 2, 3), b.alu(2, 3, 4)]
+    fetch, _ = make_fetch(trace)
+    fetch.cycle(0)
+    assert fetch.peek().seq == 0
+    assert fetch.pop().seq == 0
+    assert fetch.pop().seq == 1
+    assert fetch.pop() is None

@@ -1,0 +1,59 @@
+"""Unit tests for functional-unit arbitration."""
+
+from repro.isa import OpClass
+from repro.pipeline.fu import FuKind, FuPool, fu_kind_of
+from repro.sim.config import FuConfig
+
+
+def test_op_to_kind_mapping():
+    assert fu_kind_of(OpClass.INT_ALU) == FuKind.ALU
+    assert fu_kind_of(OpClass.BRANCH) == FuKind.ALU
+    assert fu_kind_of(OpClass.INT_MUL) == FuKind.IMUL
+    assert fu_kind_of(OpClass.FP_ADD) == FuKind.FPADD
+    assert fu_kind_of(OpClass.FP_DIV) == FuKind.FPMUL
+    assert fu_kind_of(OpClass.LOAD) == FuKind.MEM
+    assert fu_kind_of(OpClass.FP_STORE) == FuKind.MEM
+
+
+def test_every_op_class_has_a_unit():
+    for op in OpClass:
+        assert isinstance(fu_kind_of(op), FuKind)
+
+
+def test_limits_enforced_per_cycle():
+    pool = FuPool(FuConfig(int_alu=2, int_mul=1))
+    assert pool.try_take(FuKind.ALU)
+    assert pool.try_take(FuKind.ALU)
+    assert not pool.try_take(FuKind.ALU)
+    assert pool.try_take(FuKind.IMUL)
+    assert not pool.try_take(FuKind.IMUL)
+
+
+def test_new_cycle_resets_slots():
+    pool = FuPool(FuConfig(int_alu=1))
+    assert pool.try_take(FuKind.ALU)
+    assert not pool.try_take(FuKind.ALU)
+    pool.new_cycle()
+    assert pool.try_take(FuKind.ALU)
+
+
+def test_kinds_are_independent():
+    pool = FuPool(FuConfig(int_alu=1, fp_add=1))
+    assert pool.try_take(FuKind.ALU)
+    assert pool.try_take(FuKind.FPADD)
+
+
+def test_available_counts():
+    pool = FuPool(FuConfig(mem_ports=2))
+    assert pool.available(FuKind.MEM) == 2
+    pool.try_take(FuKind.MEM)
+    assert pool.available(FuKind.MEM) == 1
+
+
+def test_table2_default_unit_mix():
+    pool = FuPool(FuConfig())
+    assert pool.available(FuKind.ALU) == 4
+    assert pool.available(FuKind.IMUL) == 1
+    assert pool.available(FuKind.FPADD) == 4
+    assert pool.available(FuKind.FPMUL) == 1
+    assert pool.available(FuKind.MEM) == 2

@@ -1,0 +1,86 @@
+"""Unit tests for the load/store queue."""
+
+import pytest
+
+from repro.isa import InstructionBuilder
+from repro.pipeline.entry import InFlight
+from repro.pipeline.lsq import FORWARD_LATENCY, LoadStoreQueue
+
+
+def mem_entry(instr):
+    return InFlight(instr, fetch_cycle=0)
+
+
+def test_capacity():
+    lsq = LoadStoreQueue(2)
+    lsq.allocate()
+    lsq.allocate()
+    assert not lsq.has_space
+    with pytest.raises(RuntimeError):
+        lsq.allocate()
+    lsq.release()
+    assert lsq.has_space
+    lsq.release()
+    with pytest.raises(RuntimeError):
+        lsq.release()
+
+
+def test_store_to_load_forwarding():
+    lsq = LoadStoreQueue(8)
+    b = InstructionBuilder()
+    store = mem_entry(b.store(1, 2, addr=0x100))
+    load = mem_entry(b.load(3, 2, addr=0x100))
+    lsq.store_issued(store)
+    assert lsq.forwarding_store(load)
+    assert lsq.load_latency_if_forwarded(load) == FORWARD_LATENCY
+    assert lsq.forwarded_loads == 1
+
+
+def test_no_forwarding_from_younger_store():
+    lsq = LoadStoreQueue(8)
+    b = InstructionBuilder()
+    load = mem_entry(b.load(3, 2, addr=0x100))     # seq 0
+    store = mem_entry(b.store(1, 2, addr=0x100))   # seq 1 (younger)
+    lsq.store_issued(store)
+    assert not lsq.forwarding_store(load)
+    assert lsq.load_latency_if_forwarded(load) is None
+
+
+def test_no_forwarding_on_different_address():
+    lsq = LoadStoreQueue(8)
+    b = InstructionBuilder()
+    store = mem_entry(b.store(1, 2, addr=0x200))
+    load = mem_entry(b.load(3, 2, addr=0x100))
+    lsq.store_issued(store)
+    assert not lsq.forwarding_store(load)
+
+
+def test_commit_closes_forwarding_window():
+    lsq = LoadStoreQueue(8)
+    b = InstructionBuilder()
+    store = mem_entry(b.store(1, 2, addr=0x100))
+    load = mem_entry(b.load(3, 2, addr=0x100))
+    lsq.store_issued(store)
+    lsq.store_committed(store)
+    assert not lsq.forwarding_store(load)
+
+
+def test_multiple_stores_same_address():
+    lsq = LoadStoreQueue(8)
+    b = InstructionBuilder()
+    s1 = mem_entry(b.store(1, 2, addr=0x100))
+    s2 = mem_entry(b.store(1, 2, addr=0x100))
+    load = mem_entry(b.load(3, 2, addr=0x100))
+    lsq.store_issued(s1)
+    lsq.store_issued(s2)
+    lsq.store_committed(s1)
+    assert lsq.forwarding_store(load)
+    lsq.store_committed(s2)
+    assert not lsq.forwarding_store(load)
+
+
+def test_commit_of_unissued_store_is_harmless():
+    lsq = LoadStoreQueue(8)
+    b = InstructionBuilder()
+    store = mem_entry(b.store(1, 2, addr=0x100))
+    lsq.store_committed(store)  # no crash

@@ -1,0 +1,167 @@
+"""Unit and property tests for issue queues (OOO and in-order)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Instruction, OpClass
+from repro.pipeline.entry import InFlight
+from repro.pipeline.queues import IssueQueue
+from repro.sim.config import SchedulerPolicy
+
+
+def make_entry(seq, unready=0):
+    instr = Instruction(seq=seq, pc=seq * 4, op=OpClass.INT_ALU, dest=1, srcs=())
+    entry = InFlight(instr, fetch_cycle=0)
+    entry.unready = unready
+    return entry
+
+
+def ooo(size=8):
+    return IssueQueue("q", size, SchedulerPolicy.OUT_OF_ORDER)
+
+
+def ino(size=8):
+    return IssueQueue("q", size, SchedulerPolicy.IN_ORDER)
+
+
+def test_ooo_issues_ready_oldest_first():
+    q = ooo()
+    entries = [make_entry(2), make_entry(0), make_entry(1)]
+    for e in entries:
+        q.add(e)
+    order = []
+    while (e := q.next_issuable(0)) is not None:
+        q.take(e)
+        order.append(e.seq)
+    assert order == [0, 1, 2]
+
+
+def test_ooo_waiting_entries_need_wake():
+    q = ooo()
+    waiting = make_entry(0, unready=1)
+    q.add(waiting)
+    assert q.next_issuable(0) is None
+    waiting.unready = 0
+    q.wake(waiting)
+    assert q.next_issuable(0) is waiting
+
+
+def test_ino_head_blocks_queue():
+    q = ino()
+    head = make_entry(0, unready=1)
+    ready = make_entry(1)
+    q.add(head)
+    q.add(ready)
+    assert q.next_issuable(0) is None     # head not ready => nothing issues
+    head.unready = 0
+    assert q.next_issuable(0) is head
+
+
+def test_capacity_tracking():
+    q = ooo(size=2)
+    q.add(make_entry(0))
+    q.add(make_entry(1))
+    assert not q.has_space
+    with pytest.raises(RuntimeError):
+        q.add(make_entry(2))
+    e = q.next_issuable(0)
+    q.take(e)
+    assert q.has_space
+
+
+def test_take_marks_issued_and_frees_slot():
+    q = ooo(size=1)
+    e = make_entry(0)
+    q.add(e)
+    q.take(q.next_issuable(0))
+    assert e.issued
+    assert q.occupancy == 0
+    assert q.next_issuable(0) is None
+
+
+def test_remove_detaches_waiting_entry():
+    q = ooo(size=2)
+    e = make_entry(0, unready=1)
+    q.add(e)
+    q.remove(e)
+    assert q.occupancy == 1 - 1
+    assert e.owner is None
+
+
+def test_ino_skips_detached_entries():
+    q = ino()
+    first = make_entry(0, unready=1)
+    second = make_entry(1)
+    q.add(first)
+    q.add(second)
+    q.remove(first)           # Analyze moved it to the LLIB
+    assert q.next_issuable(0) is second
+
+
+def test_defer_allows_next_candidate():
+    q = ooo()
+    blocked = make_entry(0)
+    other = make_entry(1)
+    q.add(blocked)
+    q.add(other)
+    assert q.next_issuable(0) is blocked
+    q.defer(blocked)
+    assert q.next_issuable(0) is other
+    q.wake(blocked)           # re-armed for next cycle
+    assert q.next_issuable(0) is blocked
+
+
+def test_add_sets_owner():
+    q = ooo()
+    e = make_entry(0)
+    q.add(e)
+    assert e.owner is q
+
+
+def test_drain_returns_unissued():
+    q = ooo()
+    a, b = make_entry(0), make_entry(1)
+    q.add(a)
+    q.add(b)
+    q.take(q.next_issuable(0))
+    drained = q.drain()
+    assert drained == [b]
+    assert q.occupancy == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.permutations(list(range(10))))
+def test_property_ooo_select_is_age_ordered(order):
+    """Whatever the insertion order, ready instructions issue oldest first."""
+    q = ooo(size=16)
+    for seq in order:
+        q.add(make_entry(seq))
+    issued = []
+    while (e := q.next_issuable(0)) is not None:
+        q.take(e)
+        issued.append(e.seq)
+    assert issued == sorted(issued)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=30))
+def test_property_ino_is_fifo(ready_flags):
+    """In-order queues only ever issue the current head, in FIFO order."""
+    q = ino(size=64)
+    entries = [make_entry(i, unready=0 if flag else 1) for i, flag in enumerate(ready_flags)]
+    for e in entries:
+        q.add(e)
+    issued = []
+    for e in entries:
+        head = q.next_issuable(0)
+        if head is None:
+            break
+        assert head.seq == len(issued)
+        q.take(head)
+        issued.append(head.seq)
+    expected = 0
+    for flag in ready_flags:
+        if not flag:
+            break
+        expected += 1
+    assert len(issued) == expected

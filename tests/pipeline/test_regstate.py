@@ -1,0 +1,87 @@
+"""Unit tests for register→producer tracking."""
+
+from repro.isa import Instruction, InstructionBuilder, OpClass
+from repro.pipeline.entry import InFlight
+from repro.pipeline.regstate import RegisterTracker
+
+
+def entry_for(instr):
+    e = InFlight(instr, fetch_cycle=0)
+    return e
+
+
+def test_define_and_lookup():
+    t = RegisterTracker()
+    b = InstructionBuilder()
+    producer = entry_for(b.alu(1, 2, 3))
+    t.define(producer)
+    assert t.producer_of(1) is producer
+
+
+def test_executed_producer_reads_as_architectural():
+    t = RegisterTracker()
+    b = InstructionBuilder()
+    producer = entry_for(b.alu(1, 2, 3))
+    t.define(producer)
+    producer.executed = True
+    assert t.producer_of(1) is None
+    assert t.raw_producer(1) is producer
+
+
+def test_link_sources_counts_unready():
+    t = RegisterTracker()
+    b = InstructionBuilder()
+    p1 = entry_for(b.alu(1, 30, 30))
+    p2 = entry_for(b.alu(2, 30, 30))
+    t.define(p1)
+    t.define(p2)
+    consumer = entry_for(b.alu(3, 1, 2))
+    t.link_sources(consumer)
+    assert consumer.unready == 2
+    assert set(consumer.sources) == {p1, p2}
+    assert consumer in (p1.waiters or [])
+    assert consumer in (p2.waiters or [])
+
+
+def test_link_sources_skips_executed_producers():
+    t = RegisterTracker()
+    b = InstructionBuilder()
+    p = entry_for(b.alu(1, 30, 30))
+    t.define(p)
+    p.executed = True
+    consumer = entry_for(b.alu(3, 1, 1))
+    t.link_sources(consumer)
+    assert consumer.unready == 0
+    assert consumer.sources == ()
+
+
+def test_zero_registers_never_linked():
+    t = RegisterTracker()
+    b = InstructionBuilder()
+    consumer = entry_for(
+        Instruction(seq=9, pc=0, op=OpClass.INT_ALU, dest=1, srcs=(31,))
+    )
+    t.link_sources(consumer)
+    assert consumer.unready == 0
+
+
+def test_redefinition_supersedes_producer():
+    t = RegisterTracker()
+    b = InstructionBuilder()
+    old = entry_for(b.alu(1, 30, 30))
+    new = entry_for(b.alu(1, 30, 30))
+    t.define(old)
+    t.define(new)
+    consumer = entry_for(b.alu(2, 1, 1))
+    t.link_sources(consumer)
+    # The same producer feeds both sources: linked (and woken) twice.
+    assert consumer.sources == (new, new)
+    assert consumer.unready == 2
+
+
+def test_clear_forgets_everything():
+    t = RegisterTracker()
+    b = InstructionBuilder()
+    t.define(entry_for(b.alu(1, 2, 3)))
+    t.clear()
+    assert t.producer_of(1) is None

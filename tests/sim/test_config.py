@@ -1,0 +1,83 @@
+"""Unit tests for machine configurations (Tables 2/3, Figure-9 machines)."""
+
+import pytest
+
+from repro.sim.config import (
+    DKIP_2048,
+    KILO_1024,
+    R10_256,
+    R10_64,
+    CoreConfig,
+    SchedulerPolicy,
+    _parse_queue_config,
+)
+
+
+def test_r10_64_matches_paper():
+    assert R10_64.rob_size == 64
+    assert R10_64.iq_int == 40 and R10_64.iq_fp == 40
+    assert R10_64.scheduler == SchedulerPolicy.OUT_OF_ORDER
+    assert R10_64.lsq_size == 512
+
+
+def test_r10_256_matches_paper():
+    assert R10_256.rob_size == 256
+    assert R10_256.iq_int == 160
+
+
+def test_kilo_matches_paper():
+    assert KILO_1024.pseudo_rob == 64
+    assert KILO_1024.sliq_size == 1024
+    assert KILO_1024.core.iq_int == 72
+
+
+def test_dkip_matches_tables_2_and_3():
+    cp = DKIP_2048.cache_processor
+    assert cp.rob_size == 64                       # 16-cycle timer x 4-wide
+    assert DKIP_2048.rob_timer == 16
+    assert cp.iq_int == 40 and cp.iq_fp == 40
+    assert DKIP_2048.llib_size == 2048
+    assert DKIP_2048.llrf_banks == 8
+    assert DKIP_2048.llrf_bank_size == 256
+    mp = DKIP_2048.memory_processor
+    assert mp.queue_size == 20
+    assert mp.scheduler == SchedulerPolicy.IN_ORDER
+    assert mp.decode_width == 4
+
+
+def test_fu_mix_matches_table2():
+    fus = DKIP_2048.cache_processor.fus
+    assert (fus.int_alu, fus.int_mul, fus.fp_add, fus.fp_mul) == (4, 1, 4, 1)
+    assert fus.mem_ports == 2
+
+
+def test_queue_config_parser():
+    assert _parse_queue_config("INO") == (SchedulerPolicy.IN_ORDER, 20)
+    assert _parse_queue_config("OOO-40") == (SchedulerPolicy.OUT_OF_ORDER, 40)
+    assert _parse_queue_config("ooo-80")[1] == 80
+    with pytest.raises(ValueError):
+        _parse_queue_config("SOMETHING")
+
+
+def test_with_cp_clones():
+    config = DKIP_2048.with_cp("OOO-80")
+    assert config.cache_processor.iq_int == 80
+    assert DKIP_2048.cache_processor.iq_int == 40  # original untouched
+
+
+def test_with_mp_clones():
+    config = DKIP_2048.with_mp("OOO-40")
+    assert config.memory_processor.queue_size == 40
+    assert config.memory_processor.scheduler == SchedulerPolicy.OUT_OF_ORDER
+
+
+def test_with_queues_on_core_config():
+    core = CoreConfig().with_queues(60, SchedulerPolicy.OUT_OF_ORDER)
+    assert core.iq_int == 60 and core.name == "OOO-60"
+    ino = CoreConfig().with_queues(20, SchedulerPolicy.IN_ORDER)
+    assert ino.name == "INO"
+
+
+def test_configs_are_frozen():
+    with pytest.raises(AttributeError):
+        R10_64.rob_size = 1  # type: ignore[misc]

@@ -1,0 +1,66 @@
+"""Unit tests for run orchestration."""
+
+import pytest
+
+from repro.branch import AlwaysTakenPredictor
+from repro.memory import DEFAULT_MEMORY, MemoryHierarchy
+from repro.sim.config import DKIP_2048, KILO_1024, R10_64
+from repro.sim.runner import build_core, run_core, simulate
+from repro.sim.stats import SimStats
+from repro.workloads import get_workload
+
+
+def test_build_core_dispatches_on_config_type():
+    from repro.baselines.kilo import KiloCore
+    from repro.baselines.ooo import R10Core
+    from repro.core.dkip import DkipProcessor
+
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    p = AlwaysTakenPredictor()
+    assert isinstance(build_core(R10_64, iter([]), h, p), R10Core)
+    assert isinstance(build_core(KILO_1024, iter([]), h, p), KiloCore)
+    assert isinstance(build_core(DKIP_2048, iter([]), h, p), DkipProcessor)
+
+
+def test_build_core_rejects_unknown_config():
+    with pytest.raises(TypeError):
+        build_core(object(), iter([]), None, None)
+
+
+def test_simulate_runs_a_materialized_trace():
+    workload = get_workload("eon")
+    trace = workload.trace(600)
+    stats = simulate(R10_64, trace, regions=workload.regions)
+    assert stats.committed == 600
+    assert stats.config == "R10-64"
+    assert stats.branch_predictions > 0
+
+
+def test_run_core_stamps_workload_name():
+    stats = run_core(R10_64, get_workload("eon"), 400)
+    assert stats.workload == "eon"
+    assert stats.committed == 400
+
+
+def test_warmup_changes_results():
+    workload = get_workload("gzip")
+    warm = run_core(R10_64, workload, 1_500, warmup=True)
+    cold = run_core(R10_64, workload, 1_500, warmup=False)
+    assert warm.cycles < cold.cycles  # cold misses hurt
+
+
+def test_predictor_override():
+    workload = get_workload("eon")
+    trace = workload.trace(500)
+    always = simulate(R10_64, trace, predictor_name="always-taken")
+    perceptron = simulate(R10_64, trace, predictor_name="perceptron")
+    assert always.branch_predictions == perceptron.branch_predictions
+    assert perceptron.branch_mispredictions <= always.branch_mispredictions
+
+
+def test_runs_are_reproducible():
+    workload = get_workload("swim")
+    a = run_core(DKIP_2048, workload, 800)
+    b = run_core(DKIP_2048, workload, 800)
+    assert a.cycles == b.cycles
+    assert a.llib_insertions == b.llib_insertions

@@ -1,0 +1,89 @@
+"""Unit and property tests for statistics records and histograms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.stats import Histogram, SimStats, arithmetic_mean_ipc
+
+
+def test_ipc_definition():
+    stats = SimStats(committed=100, cycles=50)
+    assert stats.ipc == 2.0
+    assert SimStats().ipc == 0.0
+
+
+def test_branch_accuracy():
+    stats = SimStats(branch_predictions=100, branch_mispredictions=5)
+    assert stats.branch_accuracy == pytest.approx(0.95)
+    assert SimStats().branch_accuracy == 1.0
+
+
+def test_l2_miss_rate():
+    stats = SimStats(l2_hits=80, l2_misses=20)
+    assert stats.l2_miss_rate == pytest.approx(0.2)
+    assert SimStats().l2_miss_rate == 0.0
+
+
+def test_cp_fraction():
+    stats = SimStats(committed_cp=75, committed_mp=25)
+    assert stats.cp_fraction == pytest.approx(0.75)
+    assert SimStats().cp_fraction == 1.0
+
+
+def test_as_dict_round_trip():
+    stats = SimStats(workload="swim", config="D-KIP-2048", committed=10, cycles=5)
+    d = stats.as_dict()
+    assert d["workload"] == "swim"
+    assert d["ipc"] == 2.0
+
+
+def test_arithmetic_mean_ipc():
+    runs = [SimStats(committed=10, cycles=10), SimStats(committed=30, cycles=10)]
+    assert arithmetic_mean_ipc(runs) == pytest.approx(2.0)
+    assert arithmetic_mean_ipc([]) == 0.0
+
+
+def test_histogram_binning():
+    h = Histogram(bin_width=10)
+    for v in (0, 5, 9, 10, 25):
+        h.add(v)
+    assert dict(h.bins()) == {0: 3, 10: 1, 20: 1}
+    assert h.count == 5
+
+
+def test_histogram_fractions():
+    h = Histogram(bin_width=10)
+    for v in (5, 15, 25, 35):
+        h.add(v)
+    assert h.fraction_below(20) == pytest.approx(0.5)
+    assert h.fraction_in(10, 30) == pytest.approx(0.5)
+
+
+def test_histogram_clamps_to_max():
+    h = Histogram(bin_width=10, max_value=50)
+    h.add(1_000)
+    assert h.bins() == [(50, 1)]
+
+
+def test_histogram_weighted_add():
+    h = Histogram(bin_width=10)
+    h.add(5, weight=4)
+    assert h.count == 4
+
+
+def test_histogram_rejects_negative():
+    with pytest.raises(ValueError):
+        Histogram().add(-1)
+    with pytest.raises(ValueError):
+        Histogram(bin_width=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2000), min_size=1, max_size=300))
+def test_property_histogram_conserves_mass(values):
+    h = Histogram(bin_width=25)
+    for v in values:
+        h.add(v)
+    assert sum(c for _, c in h.bins()) == len(values)
+    assert h.fraction_below(10**9) == pytest.approx(1.0)
+    assert h.mean == pytest.approx(sum(values) / len(values))

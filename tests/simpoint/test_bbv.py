@@ -1,0 +1,47 @@
+"""Unit tests for basic-block-vector profiling."""
+
+import numpy as np
+import pytest
+
+from repro.simpoint import collect_bbvs
+from repro.workloads import get_workload
+
+from tests.conftest import make_loop
+
+
+def test_interval_count():
+    trace = make_loop(iterations=100, body_alu=3)  # 400 instructions
+    bbvs = collect_bbvs(iter(trace), interval_size=100)
+    assert bbvs.num_intervals == 4
+
+
+def test_partial_final_interval_kept():
+    trace = make_loop(iterations=10, body_alu=3)  # 40 instructions
+    bbvs = collect_bbvs(iter(trace), interval_size=32)
+    assert bbvs.num_intervals == 2
+
+
+def test_rows_are_l1_normalized():
+    workload = get_workload("gcc")
+    bbvs = collect_bbvs(iter(workload.trace(2_000)), interval_size=500)
+    sums = bbvs.matrix.sum(axis=1)
+    assert np.allclose(sums, 1.0)
+
+
+def test_homogeneous_trace_gives_identical_rows():
+    trace = make_loop(iterations=200, body_alu=3)
+    bbvs = collect_bbvs(iter(trace), interval_size=200)
+    for row in bbvs.matrix[1:]:
+        assert np.allclose(row, bbvs.matrix[1], atol=0.05)
+
+
+def test_block_ids_are_recorded():
+    trace = make_loop(iterations=10, body_alu=3)
+    bbvs = collect_bbvs(iter(trace), interval_size=20)
+    assert bbvs.num_blocks >= 1
+    assert len(bbvs.block_ids) == bbvs.num_blocks
+
+
+def test_invalid_interval_size():
+    with pytest.raises(ValueError):
+        collect_bbvs(iter([]), interval_size=0)

@@ -1,0 +1,88 @@
+"""Unit and property tests for the from-scratch k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simpoint import kmeans
+
+
+def three_blobs(n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.vstack(
+        [center + rng.normal(scale=0.5, size=(n, 2)) for center in centers]
+    )
+    return points
+
+
+def test_recovers_well_separated_clusters():
+    points = three_blobs()
+    result = kmeans(points, k=3, seed=1)
+    assert result.k == 3
+    sizes = result.cluster_sizes()
+    assert sorted(sizes) == [30, 30, 30]
+
+
+def test_deterministic_given_seed():
+    points = three_blobs()
+    a = kmeans(points, k=3, seed=5)
+    b = kmeans(points, k=3, seed=5)
+    assert np.array_equal(a.labels, b.labels)
+    assert a.inertia == b.inertia
+
+
+def test_k_equal_to_n_gives_zero_inertia():
+    points = np.array([[0.0], [1.0], [2.0]])
+    result = kmeans(points, k=3, seed=0)
+    assert result.inertia == pytest.approx(0.0)
+
+
+def test_k_one_uses_global_mean():
+    points = three_blobs()
+    result = kmeans(points, k=1, seed=0)
+    assert np.allclose(result.centroids[0], points.mean(axis=0))
+
+
+def test_invalid_arguments():
+    points = three_blobs()
+    with pytest.raises(ValueError):
+        kmeans(points, k=0)
+    with pytest.raises(ValueError):
+        kmeans(points, k=len(points) + 1)
+    with pytest.raises(ValueError):
+        kmeans(np.zeros(5), k=1)  # 1-D input
+
+
+def test_identical_points_dont_crash():
+    points = np.ones((10, 3))
+    result = kmeans(points, k=3, seed=0)
+    assert result.inertia == pytest.approx(0.0)
+
+
+def test_inertia_non_increasing_in_k():
+    points = three_blobs()
+    inertias = [kmeans(points, k=k, seed=0).inertia for k in (1, 3, 9)]
+    assert inertias[0] >= inertias[1] >= inertias[2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.lists(
+        st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+        min_size=5,
+        max_size=60,
+    ),
+)
+def test_property_labels_valid_and_assignment_optimal(k, raw_points):
+    """Every point gets a valid label, and that label is (one of) its
+    nearest centroids — the defining post-condition of Lloyd's algorithm."""
+    points = np.array(raw_points)
+    k = min(k, len(points))
+    result = kmeans(points, k=k, seed=3)
+    assert result.labels.shape == (len(points),)
+    assert ((0 <= result.labels) & (result.labels < k)).all()
+    distances = ((points[:, None, :] - result.centroids[None, :, :]) ** 2).sum(axis=2)
+    chosen = distances[np.arange(len(points)), result.labels]
+    assert np.allclose(chosen, distances.min(axis=1))

@@ -1,0 +1,55 @@
+"""Unit tests for simulation-point selection."""
+
+import numpy as np
+import pytest
+
+from repro.simpoint import choose_simpoints, collect_bbvs, weighted_ipc
+from repro.simpoint.bbv import BasicBlockVectors
+from repro.simpoint.select import SimPoint
+from repro.workloads import get_workload
+
+
+def fake_bbvs(matrix):
+    matrix = np.asarray(matrix, dtype=float)
+    return BasicBlockVectors(
+        interval_size=100, matrix=matrix, block_ids=list(range(matrix.shape[1]))
+    )
+
+
+def test_weights_sum_to_one():
+    workload = get_workload("gcc")
+    bbvs = collect_bbvs(iter(workload.trace(4_000)), interval_size=500)
+    points = choose_simpoints(bbvs, k=3, seed=0)
+    assert sum(p.weight for p in points) == pytest.approx(1.0)
+    assert all(0 <= p.interval < bbvs.num_intervals for p in points)
+
+
+def test_representatives_come_from_their_cluster():
+    matrix = [[1.0, 0.0]] * 4 + [[0.0, 1.0]] * 4
+    points = choose_simpoints(fake_bbvs(matrix), k=2, seed=0)
+    assert len(points) == 2
+    assert {p.interval < 4 for p in points} == {True, False}
+    for p in points:
+        assert p.weight == pytest.approx(0.5)
+
+
+def test_k_clamped_to_interval_count():
+    matrix = [[1.0, 0.0], [0.0, 1.0]]
+    points = choose_simpoints(fake_bbvs(matrix), k=10, seed=0)
+    assert len(points) <= 2
+
+
+def test_instruction_range():
+    point = SimPoint(interval=3, weight=0.5)
+    assert point.instruction_range(1000) == (3000, 4000)
+
+
+def test_weighted_ipc_combines():
+    points = [SimPoint(0, 0.75), SimPoint(5, 0.25)]
+    assert weighted_ipc(points, {0: 2.0, 5: 1.0}) == pytest.approx(1.75)
+
+
+def test_weighted_ipc_requires_all_measurements():
+    with pytest.raises(KeyError):
+        weighted_ipc([SimPoint(0, 1.0)], {})
+    assert weighted_ipc([], {}) == 0.0

@@ -1,0 +1,90 @@
+"""Unit and property tests for trace serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Instruction, OpClass
+from repro.trace.io import dump_trace, load_trace
+from repro.workloads import get_workload
+
+
+def test_round_trip_workload_trace(tmp_path):
+    trace = get_workload("mcf").trace(500)
+    path = str(tmp_path / "mcf.trace")
+    assert dump_trace(trace, path) == 500
+    loaded = list(load_trace(path))
+    assert loaded == trace
+
+
+def test_round_trip_gzip(tmp_path):
+    trace = get_workload("swim").trace(300)
+    path = str(tmp_path / "swim.trace.gz")
+    dump_trace(trace, path)
+    assert list(load_trace(path)) == trace
+    import os
+
+    raw = str(tmp_path / "swim.trace")
+    dump_trace(trace, raw)
+    assert os.path.getsize(path) < os.path.getsize(raw)
+
+
+def test_header_is_checked(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("not a trace\n")
+    with pytest.raises(ValueError, match="not a repro trace"):
+        list(load_trace(str(path)))
+
+
+def test_malformed_record_reports_line(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("# repro-trace v1\ngarbage\n")
+    with pytest.raises(ValueError, match=":2:"):
+        list(load_trace(str(path)))
+
+
+def test_blank_lines_and_comments_skipped(tmp_path):
+    trace = get_workload("eon").trace(10)
+    path = str(tmp_path / "t.trace")
+    dump_trace(trace, path)
+    with open(path) as f:
+        content = f.read()
+    with open(path, "w") as f:
+        f.write(content.replace("\n", "\n# comment\n\n", 1))
+    assert list(load_trace(path)) == trace
+
+
+_ops = st.sampled_from(list(OpClass))
+
+
+@st.composite
+def instructions(draw, seq):
+    op = draw(_ops)
+    is_mem = op in (OpClass.LOAD, OpClass.STORE, OpClass.FP_LOAD, OpClass.FP_STORE)
+    is_branch = op in (OpClass.BRANCH, OpClass.JUMP)
+    return Instruction(
+        seq=seq,
+        pc=draw(st.integers(0, 1 << 32)),
+        op=op,
+        dest=draw(st.one_of(st.none(), st.integers(0, 63))),
+        srcs=tuple(draw(st.lists(st.integers(0, 63), max_size=2))),
+        addr=draw(st.integers(0, 1 << 40)) if is_mem else None,
+        size=draw(st.sampled_from([1, 2, 4, 8])),
+        taken=draw(st.booleans()) if is_branch else None,
+        target=draw(st.one_of(st.none(), st.integers(0, 1 << 32))) if is_branch else None,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data(), st.integers(min_value=1, max_value=40))
+def test_property_round_trip_is_exact(data, n):
+    import os
+    import tempfile
+
+    trace = [data.draw(instructions(seq=i)) for i in range(n)]
+    fd, path = tempfile.mkstemp(suffix=".trace")
+    os.close(fd)
+    try:
+        dump_trace(trace, path)
+        assert list(load_trace(path)) == trace
+    finally:
+        os.unlink(path)

@@ -1,0 +1,103 @@
+"""Unit tests for the kernel DSL."""
+
+import pytest
+
+from repro.isa import OpClass
+from repro.isa.registers import FP_BASE, INT_ZERO, NUM_FP_REGS, NUM_INT_REGS
+from repro.trace.kernel import Kernel
+
+
+def test_sequence_numbers_are_dense():
+    k = Kernel()
+    instrs = [k.alu(1, 2), k.nop(), k.load(3, addr=0x100)]
+    assert [i.seq for i in instrs] == [0, 1, 2]
+
+
+def test_register_allocation_is_disjoint():
+    k = Kernel()
+    a = k.iregs(4)
+    b = k.iregs(4)
+    assert not set(a) & set(b)
+    f = k.fregs(3)
+    assert all(r >= FP_BASE for r in f)
+
+
+def test_register_exhaustion_raises():
+    k = Kernel()
+    k.iregs(NUM_INT_REGS - 2)
+    with pytest.raises(ValueError):
+        k.iregs(2)
+    k2 = Kernel()
+    k2.fregs(NUM_FP_REGS - 1)
+    with pytest.raises(ValueError):
+        k2.fregs(1)
+
+
+def test_sites_are_stable():
+    k = Kernel()
+    b1 = k.branch("loop", srcs=(k.zero,), taken=True)
+    k.alu(1, 2)
+    b2 = k.branch("loop", srcs=(k.zero,), taken=False)
+    b3 = k.branch("other", srcs=(k.zero,), taken=True)
+    assert b1.pc == b2.pc
+    assert b3.pc != b1.pc
+
+
+def test_load_defaults_to_zero_base():
+    k = Kernel()
+    load = k.load(1, addr=0x40)
+    assert load.srcs == (INT_ZERO,)
+    assert load.live_srcs() == ()
+
+
+def test_load_with_pointer_base():
+    k = Kernel()
+    load = k.load(1, addr=0x40, base=5)
+    assert load.srcs == (5,)
+    assert load.live_srcs() == (5,)
+
+
+def test_fp_load_and_store_classes():
+    k = Kernel()
+    f = k.fregs(1)[0]
+    assert k.load(f, addr=0, fp=True).op == OpClass.FP_LOAD
+    assert k.store(f, addr=0, fp=True).op == OpClass.FP_STORE
+
+
+def test_store_sources_value_and_base():
+    k = Kernel()
+    st = k.store(7, addr=0x80, base=9)
+    assert st.srcs == (7, 9)
+
+
+def test_loop_branch_is_zero_sourced():
+    k = Kernel()
+    br = k.loop_branch("l")
+    assert br.taken is True
+    assert br.live_srcs() == ()
+
+
+def test_jump_is_taken():
+    k = Kernel()
+    assert k.jump("target").taken is True
+
+
+def test_fp_ops_emit_expected_classes():
+    k = Kernel()
+    f0, f1 = k.fregs(2)
+    assert k.fadd(f0, f1, f1).op == OpClass.FP_ADD
+    assert k.fmul(f0, f1, f1).op == OpClass.FP_MUL
+    assert k.fdiv(f0, f1, f1).op == OpClass.FP_DIV
+
+
+def test_determinism_per_seed():
+    def emit(seed):
+        k = Kernel(seed=seed)
+        out = []
+        for _ in range(50):
+            out.append(k.load(1, addr=k.rng.randrange(1 << 20)))
+            out.append(k.branch("b", srcs=(1,), taken=k.rng.random() < 0.5))
+        return [(i.op, i.addr, i.taken) for i in out]
+
+    assert emit(3) == emit(3)
+    assert emit(3) != emit(4)

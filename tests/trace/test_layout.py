@@ -1,0 +1,87 @@
+"""Unit tests for the address-space layout helpers."""
+
+import random
+
+import pytest
+
+from repro.trace.layout import AddressSpace, ArrayRef, LinkedList, strided_touch_plan
+
+
+def test_alloc_alignment_and_ordering():
+    space = AddressSpace()
+    a = space.alloc(100, align=64)
+    b = space.alloc(100, align=64)
+    assert a % 64 == 0 and b % 64 == 0
+    assert b >= a + 100
+
+
+def test_alloc_records_regions():
+    space = AddressSpace()
+    space.alloc(128)
+    space.alloc(256)
+    assert [size for _, size in space.regions] == [128, 256]
+    assert space.footprint == 384
+
+
+def test_alloc_rejects_bad_arguments():
+    space = AddressSpace()
+    with pytest.raises(ValueError):
+        space.alloc(0)
+    with pytest.raises(ValueError):
+        space.alloc(64, align=3)
+
+
+def test_array_ref_addressing():
+    space = AddressSpace()
+    array = ArrayRef.alloc(space, length=10, elem_size=8)
+    assert array.addr(0) == array.base
+    assert array.addr(3) == array.base + 24
+    assert array.addr(13) == array.addr(3)  # wraps
+    assert array.size == 80
+
+
+def test_linked_list_visits_every_node():
+    space = AddressSpace()
+    lst = LinkedList(space, nodes=16, node_size=64, rng=random.Random(1))
+    seen = {lst.current()}
+    for _ in range(15):
+        seen.add(lst.advance())
+    assert len(seen) == 16
+    for addr in seen:
+        assert lst.base <= addr < lst.base + 16 * 64
+
+
+def test_linked_list_is_shuffled():
+    space = AddressSpace()
+    lst = LinkedList(space, nodes=64, node_size=64, rng=random.Random(7))
+    addresses = [lst.advance() for _ in range(63)]
+    strides = [b - a for a, b in zip(addresses, addresses[1:])]
+    assert any(s != 64 for s in strides)  # not sequential
+
+
+def test_linked_list_wraps_and_resets():
+    space = AddressSpace()
+    lst = LinkedList(space, nodes=4, node_size=64, rng=random.Random(0))
+    start = lst.current()
+    for _ in range(4):
+        lst.advance()
+    assert lst.current() == start
+    lst.advance()
+    lst.reset()
+    assert lst.current() == start
+
+
+def test_linked_list_needs_nodes():
+    with pytest.raises(ValueError):
+        LinkedList(AddressSpace(), nodes=0)
+
+
+def test_strided_touch_plan_covers_lines():
+    plan = list(strided_touch_plan([(0, 256)], stride=64))
+    assert [addr for addr, _ in plan] == [0, 64, 128, 192]
+    assert all(not write for _, write in plan)
+
+
+def test_strided_touch_plan_multiple_regions():
+    plan = list(strided_touch_plan([(0, 64), (1024, 128)], stride=64))
+    assert [addr for addr, _ in plan] == [0, 1024, 1088]

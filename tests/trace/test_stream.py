@@ -1,0 +1,89 @@
+"""Unit tests for trace stream utilities."""
+
+import pytest
+
+from repro.isa import InstructionBuilder, OpClass
+from repro.trace import TraceRecorder, materialize, replay, summarize, take
+
+
+def _alu_trace(n):
+    b = InstructionBuilder()
+    return [b.alu(1, 2, 3) for _ in range(n)]
+
+
+def test_take_limits_stream():
+    trace = _alu_trace(10)
+    assert len(list(take(trace, 4))) == 4
+
+
+def test_take_handles_short_streams():
+    assert len(list(take(_alu_trace(2), 10))) == 2
+
+
+def test_materialize_round_trip():
+    trace = _alu_trace(6)
+    out = materialize(iter(trace), 6)
+    assert out == trace
+    assert list(replay(out)) == trace
+
+
+def test_materialize_raises_on_short_trace():
+    with pytest.raises(ValueError):
+        materialize(iter(_alu_trace(3)), 5)
+
+
+def test_recorder_captures_everything():
+    trace = _alu_trace(5)
+    recorder = TraceRecorder(iter(trace))
+    consumed = list(recorder)
+    assert consumed == trace
+    assert recorder.recorded == trace
+
+
+def test_summarize_counts_mix():
+    b = InstructionBuilder()
+    trace = [
+        b.load(1, 2, addr=0x100),
+        b.store(1, 2, addr=0x140),
+        b.alu(3, 1, 1),
+        b.branch(3, taken=True),
+        b.branch(3, taken=False),
+    ]
+    s = summarize(trace)
+    assert s.count == 5
+    assert s.loads == 1 and s.stores == 1 and s.branches == 2
+    assert s.taken_branches == 1
+    assert s.load_fraction == pytest.approx(0.2)
+    assert s.branch_fraction == pytest.approx(0.4)
+    assert s.taken_rate == pytest.approx(0.5)
+
+
+def test_summarize_footprint_lines():
+    b = InstructionBuilder()
+    trace = [
+        b.load(1, 2, addr=0),
+        b.load(1, 2, addr=32),     # same 64B line
+        b.load(1, 2, addr=64),     # second line
+    ]
+    s = summarize(trace)
+    assert s.unique_lines == 2
+    assert s.footprint_bytes == 128
+    assert s.min_addr == 0
+    assert s.max_addr == 64 + 8
+
+
+def test_summarize_branch_sites():
+    b = InstructionBuilder()
+    trace = [
+        b.emit(OpClass.BRANCH, srcs=(1,), taken=True, pc=0x100),
+        b.emit(OpClass.BRANCH, srcs=(1,), taken=True, pc=0x100),
+        b.emit(OpClass.BRANCH, srcs=(1,), taken=True, pc=0x200),
+    ]
+    assert summarize(trace).unique_branch_sites == 2
+
+
+def test_summarize_empty_trace():
+    s = summarize([])
+    assert s.count == 0
+    assert s.load_fraction == 0.0
+    assert s.taken_rate == 0.0

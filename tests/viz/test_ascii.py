@@ -1,0 +1,52 @@
+"""Unit tests for the ASCII chart renderers."""
+
+from repro.viz import bar_chart, histogram_chart, line_chart, table
+
+
+def test_table_alignment_and_title():
+    text = table(["name", "ipc"], [["swim", 2.061], ["mcf", 0.05]], title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "swim" in text and "2.061" in text
+    # all rows aligned to equal width
+    assert len(set(len(l) for l in lines[1:])) <= 2
+
+
+def test_bar_chart_scales_to_peak():
+    text = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+    a_line = next(l for l in text.splitlines() if l.startswith("a"))
+    b_line = next(l for l in text.splitlines() if l.startswith("b"))
+    assert b_line.count("#") == 10
+    assert a_line.count("#") == 5
+
+
+def test_bar_chart_empty_and_zero():
+    assert bar_chart({}, title="nothing") == "nothing"
+    text = bar_chart({"x": 0.0})
+    assert "0.000" in text
+
+
+def test_line_chart_contains_markers_and_legend():
+    text = line_chart({"s1": [(1, 1.0), (2, 2.0)], "s2": [(1, 2.0), (2, 1.0)]})
+    assert "*" in text and "o" in text
+    assert "s1" in text and "s2" in text
+
+
+def test_line_chart_log_axis_label():
+    text = line_chart({"s": [(32, 1.0), (4096, 2.0)]}, logx=True)
+    assert "log2" in text
+
+
+def test_line_chart_empty():
+    assert line_chart({}, title="t") == "t"
+
+
+def test_histogram_chart_percentages():
+    text = histogram_chart([(0, 75), (400, 25)], bin_width=25, total=100)
+    assert "75.0%" in text and "25.0%" in text
+
+
+def test_histogram_chart_truncates_long_tails():
+    bins = [(i * 25, 1) for i in range(100)]
+    text = histogram_chart(bins, bin_width=25, total=100, max_bins=10)
+    assert "beyond" in text

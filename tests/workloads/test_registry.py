@@ -1,0 +1,54 @@
+"""Unit tests for the workload registry."""
+
+import pytest
+
+from repro.workloads import (
+    SPECFP_NAMES,
+    SPECINT_NAMES,
+    all_names,
+    get_workload,
+    suite,
+)
+
+PAPER_SPECINT = {
+    "bzip2", "crafty", "eon", "gap", "gcc", "gzip",
+    "mcf", "parser", "perlbmk", "twolf", "vortex", "vpr",
+}
+PAPER_SPECFP = {
+    "ammp", "applu", "apsi", "art", "equake", "facerec", "fma3d",
+    "galgel", "lucas", "mesa", "mgrid", "sixtrack", "swim", "wupwise",
+}
+
+
+def test_full_spec2000_coverage():
+    assert set(SPECINT_NAMES) == PAPER_SPECINT
+    assert set(SPECFP_NAMES) == PAPER_SPECFP
+    assert len(all_names()) == 26
+
+
+def test_get_workload_by_name():
+    workload = get_workload("mcf")
+    assert workload.name == "mcf"
+    assert workload.suite == "int"
+    assert workload.description
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ValueError):
+        get_workload("linpack")
+
+
+def test_suite_instantiation():
+    int_suite = suite("int")
+    fp_suite = suite("fp")
+    assert [w.name for w in int_suite] == list(SPECINT_NAMES)
+    assert all(w.suite == "fp" for w in fp_suite)
+
+
+def test_suite_rejects_bad_name():
+    with pytest.raises(ValueError):
+        suite("vector")
+
+
+def test_seed_is_propagated():
+    assert get_workload("swim", seed=7).seed == 7

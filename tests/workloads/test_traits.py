@@ -1,0 +1,157 @@
+"""Behavioural trait tests for every synthetic SPEC2000 benchmark.
+
+These tests pin the properties the reproduction depends on: instruction
+mixes in plausible ranges, working-set sizes that match each benchmark's
+documented footprint class, the presence (or absence) of the signature
+pathologies, and suite-level contrasts (FP streams miss more; INT is
+branchier).
+"""
+
+import pytest
+
+from repro.trace.stream import summarize
+from repro.workloads import all_names, get_workload, suite
+
+N = 3_000
+KB = 1024
+MB = 1024 * KB
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    out = {}
+    for name in all_names():
+        workload = get_workload(name)
+        trace = workload.trace(N)
+        out[name] = (workload, summarize(trace))
+    return out
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_generator_is_unbounded_and_exact(name):
+    workload = get_workload(name)
+    assert len(workload.trace(N)) == N
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_load_fraction_plausible(name, summaries):
+    _, s = summaries[name]
+    assert 0.10 <= s.load_fraction <= 0.50, f"{name}: {s.load_fraction:.2f}"
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_branch_fraction_plausible(name, summaries):
+    _, s = summaries[name]
+    assert 0.05 <= s.branch_fraction <= 0.35, f"{name}: {s.branch_fraction:.2f}"
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_some_stores_exist(name, summaries):
+    _, s = summaries[name]
+    if name == "art":  # art's scan phase is read-only
+        return
+    assert s.stores > 0
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_fp_share_matches_suite(name, summaries):
+    workload, s = summaries[name]
+    if workload.suite == "fp":
+        assert s.fp_fraction >= 0.3, f"{name}: fp share {s.fp_fraction:.2f}"
+    else:
+        assert s.fp_fraction <= 0.05, f"{name}: fp share {s.fp_fraction:.2f}"
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_footprints_match_documented_class(name, summaries):
+    workload, _ = summaries[name]
+    footprint = workload.footprint
+    small = {"eon", "gzip", "mesa", "sixtrack", "galgel", "perlbmk", "bzip2",
+             "facerec", "vpr", "vortex"}
+    large = {"mcf", "gcc", "art", "swim", "applu", "ammp", "lucas", "mgrid",
+             "wupwise", "fma3d"}
+    if name in small:
+        assert footprint <= 1 * MB, f"{name}: {footprint}"
+    if name in large:
+        assert footprint >= 1 * MB, f"{name}: {footprint}"
+
+
+def test_mcf_has_the_biggest_pointer_arena(summaries):
+    mcf, _ = summaries["mcf"]
+    assert mcf.footprint >= 3 * MB
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_branches_are_biased_not_degenerate(name, summaries):
+    _, s = summaries[name]
+    assert 0.4 <= s.taken_rate <= 1.0, f"{name}: taken rate {s.taken_rate:.2f}"
+
+
+def test_int_suite_is_branchier_than_fp(summaries):
+    int_mean = sum(summaries[n][1].branch_fraction for n in suite_names("int"))
+    fp_mean = sum(summaries[n][1].branch_fraction for n in suite_names("fp"))
+    assert int_mean / 12 > fp_mean / 14
+
+
+def suite_names(which):
+    return [w.name for w in suite(which)]
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_addresses_stay_inside_allocations(name, summaries):
+    workload, s = summaries[name]
+    lo = min(base for base, _ in workload.regions)
+    hi = max(base + size for base, size in workload.regions)
+    assert s.min_addr >= lo
+    assert s.max_addr <= hi
+
+
+@pytest.mark.parametrize("name", ["mcf", "gap", "parser"])
+def test_pointer_chasers_have_dependent_loads(name):
+    """The signature pathology: loads whose base register is itself the
+    destination of an earlier load."""
+    workload = get_workload(name)
+    trace = workload.trace(N)
+    load_dests = set()
+    dependent = 0
+    for instr in trace:
+        if instr.is_load:
+            if any(src in load_dests for src in instr.live_srcs()):
+                dependent += 1
+            if instr.dest is not None:
+                load_dests.add(instr.dest)
+        elif instr.dest is not None:
+            load_dests.discard(instr.dest)
+    assert dependent > 0, f"{name} should chase pointers"
+
+
+def test_streaming_fp_misses_with_small_cache():
+    """swim's working set defeats a 512KB L2 (the memory-bound archetype)."""
+    from repro.memory import DEFAULT_MEMORY, MemoryHierarchy, warm_caches
+
+    workload = get_workload("swim")
+    trace = workload.trace(N)
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    warm_caches(h, workload.regions)
+    for instr in trace:
+        if instr.addr is not None:
+            h.access(instr.addr, write=instr.is_store, now=0)
+    # Streaming brings a steady flow of new lines from memory.
+    assert h.memory.accesses > 50
+    assert h.l1.miss_rate > 0.05
+
+
+def test_cache_resident_fp_hits():
+    """mesa stays cache resident (the compute-bound archetype)."""
+    from repro.memory import DEFAULT_MEMORY, MemoryHierarchy, warm_caches
+
+    workload = get_workload("mesa")
+    trace = workload.trace(N)
+    h = MemoryHierarchy(DEFAULT_MEMORY)
+    warm_caches(h, workload.regions)
+    misses = 0
+    for instr in trace:
+        if instr.addr is not None:
+            _, level = h.access(instr.addr, write=instr.is_store, now=0)
+            misses += level == 3
+    assert misses < 20
