@@ -1,0 +1,23 @@
+# Convenience targets; everything assumes the in-repo source layout and
+# sets PYTHONPATH accordingly.
+
+PYTHON ?= python
+
+.PHONY: test bench bench-baseline experiments
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Opt-in benchmark regression gate: runs the simulator-throughput
+# pytest-benchmark group and fails on >25% mean-time regressions against
+# benchmarks/BENCH_baseline.json.
+bench:
+	$(PYTHON) benchmarks/compare.py
+
+# Refresh the committed baseline after an intentional performance change.
+bench-baseline:
+	$(PYTHON) benchmarks/compare.py --update
+
+# Regenerate every paper table/figure at quick scale.
+experiments:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments all --scale quick

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for the simulator-throughput group.
+
+Runs the pytest-benchmark suite with ``--benchmark-json``, compares the
+mean runtimes of the ``simulator-throughput`` group against the committed
+``BENCH_baseline.json``, and fails (exit 1) when any benchmark regressed
+by more than the threshold (default 25%).
+
+Opt-in via ``make bench``; refresh the baseline after an intentional
+performance change with ``make bench-baseline`` (or ``--update``).
+
+The baseline is a trimmed ``{benchmark name: mean seconds}`` mapping plus
+a little metadata, so diffs stay readable in review.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
+DEFAULT_GROUP = "simulator-throughput"
+DEFAULT_THRESHOLD = 0.25
+BENCH_FILE = "benchmarks/test_simulator_throughput.py"
+
+
+def run_benchmarks(json_path: Path) -> None:
+    """Run the throughput suite, writing pytest-benchmark JSON."""
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        BENCH_FILE,
+        "-q",
+        f"--benchmark-json={json_path}",
+    ]
+    result = subprocess.run(cmd, cwd=ROOT, env=env)
+    if result.returncode != 0:
+        raise SystemExit(f"benchmark run failed (pytest exit {result.returncode})")
+
+
+def load_group_means(json_path: Path, group: str) -> dict[str, float]:
+    with open(json_path) as handle:
+        data = json.load(handle)
+    means = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("group") == group:
+            means[bench["name"]] = bench["stats"]["mean"]
+    if not means:
+        raise SystemExit(f"no benchmarks found in group {group!r}")
+    return means
+
+
+def write_baseline(path: Path, means: dict[str, float], group: str) -> None:
+    payload = {
+        "group": group,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "means": {name: round(mean, 6) for name, mean in sorted(means.items())},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def compare(
+    baseline: dict[str, float], current: dict[str, float], threshold: float
+) -> tuple[list[str], list[str]]:
+    """Returns (report lines, regression lines)."""
+    lines, regressions = [], []
+    for name in sorted(set(baseline) | set(current)):
+        base, new = baseline.get(name), current.get(name)
+        if base is None:
+            lines.append(f"  NEW      {name}: {new:.4f}s (no baseline; run --update)")
+            continue
+        if new is None:
+            regressions.append(f"  MISSING  {name}: in baseline but not in this run")
+            continue
+        delta = (new - base) / base
+        tag = "ok"
+        line = f"  {tag:8s} {name}: {base:.4f}s -> {new:.4f}s ({delta:+.1%})"
+        if delta > threshold:
+            line = f"  REGRESS  {name}: {base:.4f}s -> {new:.4f}s ({delta:+.1%})"
+            regressions.append(line)
+        lines.append(line)
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed baseline JSON (default: benchmarks/BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--group", default=DEFAULT_GROUP,
+        help=f"benchmark group to gate (default: {DEFAULT_GROUP})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative mean-time regression that fails the gate (default: 0.25)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help="reuse an existing --benchmark-json file instead of running pytest",
+    )
+    args = parser.parse_args(argv)
+
+    if args.json is not None:
+        current = load_group_means(args.json, args.group)
+    else:
+        fd, tmp_name = tempfile.mkstemp(suffix=".json", prefix="bench-")
+        os.close(fd)
+        json_path = Path(tmp_name)
+        try:
+            run_benchmarks(json_path)
+            current = load_group_means(json_path, args.group)
+        finally:
+            json_path.unlink(missing_ok=True)
+
+    if args.update:
+        write_baseline(args.baseline, current, args.group)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update to create one")
+        return 2
+
+    baseline = json.loads(args.baseline.read_text())["means"]
+    lines, regressions = compare(baseline, current, args.threshold)
+    print(f"benchmark group {args.group!r} vs {args.baseline.name} "
+          f"(threshold {args.threshold:.0%}):")
+    print("\n".join(lines))
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}:")
+        print("\n".join(regressions))
+        return 1
+    print("\nno regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

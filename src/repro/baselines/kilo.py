@@ -224,6 +224,73 @@ class KiloCore(R10Core):
         return False
 
     # ------------------------------------------------------------------
+    # Quiescence protocol
+    # ------------------------------------------------------------------
+
+    def next_work_cycle(self) -> int | None:
+        now = self.now
+        if self._reissue_backlog:
+            return now  # slow-lane re-dispatch tokens release every cycle
+        if self._analyze_progress_possible():
+            return now
+        if (
+            self.sliq.next_issuable(now) is not None
+            or self.iq_int.next_issuable(now) is not None
+            or self.iq_fp.next_issuable(now) is not None
+        ):
+            return now
+        if self._dispatch_possible():
+            return now
+        wake = self.fetch.next_fetch_cycle(now)
+        if self._reissue_wheel:
+            due = min(self._reissue_wheel)
+            wake = due if wake is None else min(wake, due)
+        rob = self.rob
+        if rob:
+            maturity = rob[0].dispatch_cycle + self.kilo_config.rob_timer
+            if maturity > now:
+                wake = maturity if wake is None else min(wake, maturity)
+        return wake
+
+    def _analyze_progress_possible(self) -> bool:
+        """Mirror of the first iteration of :meth:`_analyze`'s loop."""
+        rob = self.rob
+        if not rob:
+            return False
+        entry = rob[0]
+        if self.now - entry.dispatch_cycle < self.kilo_config.rob_timer:
+            return False
+        if entry.executed or entry.issued:
+            return True
+        if self._blocked_on_llbv(entry):
+            return self.sliq.has_space
+        return True
+
+    def on_cycles_skipped(self, start: int, end: int) -> None:
+        self.fetch.account_skipped(start, end)
+        rob = self.rob
+        if not rob:
+            return
+        entry = rob[0]
+        if start - entry.dispatch_cycle < self.kilo_config.rob_timer:
+            return  # head immature throughout the skipped range
+        if (
+            not entry.executed
+            and not entry.issued
+            and self._blocked_on_llbv(entry)
+            and not self.sliq.has_space
+        ):
+            skipped = end - start
+            self.stats.analyze_stall_cycles += skipped
+            self.stats.llib_full_stall_cycles += skipped
+
+    def describe_stall(self) -> str:
+        return (
+            f"sliq={self.sliq.occupancy}, backlog={len(self._reissue_backlog)}, "
+            f"wheel={len(self._reissue_wheel)}, {super().describe_stall()}"
+        )
+
+    # ------------------------------------------------------------------
     # Issue: the SLIQ participates as the oldest scheduling window
     # ------------------------------------------------------------------
 

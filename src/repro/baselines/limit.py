@@ -55,6 +55,7 @@ def simulate_limit(
     redirect_penalty: int = 5,
     latencies: LatencyTable = DEFAULT_LATENCIES,
     histogram_bin: int = 25,
+    record_histogram: bool = True,
 ) -> LimitResult:
     """Run the idealized core over *trace*.
 
@@ -62,9 +63,16 @@ def simulate_limit(
         rob_size: ROB capacity; ``None`` means unlimited (the configuration
             of the Figure-3 analysis).
         histogram_bin: Bin width (cycles) for the decode→issue histogram.
+        record_histogram: Set False to skip the per-instruction histogram
+            accounting; the window sweeps of Figures 1/2 only consume IPC,
+            and the histogram is the hottest non-essential work in the
+            pass.
     """
     stats = SimStats(config=f"limit-{rob_size or 'inf'}")
     histogram = Histogram(bin_width=histogram_bin, max_value=4000)
+    histogram_add = histogram.add if record_histogram else None
+    hierarchy_access = hierarchy.access
+    predictor_update = predictor.update
 
     reg_time = [0] * NUM_REGS
     # Commit times of the ROB-resident window (for the capacity constraint)
@@ -106,15 +114,16 @@ def simulate_limit(
             if t > ready:
                 ready = t
         issue = ready
-        histogram.add(issue - (dispatch + 1))
+        if histogram_add is not None:
+            histogram_add(issue - (dispatch + 1))
 
         # ---- execute ---------------------------------------------------
         op = instr.op
         if instr.is_load:
-            mem_latency, _level = hierarchy.access(instr.addr, write=False, now=issue)
+            mem_latency, _level = hierarchy_access(instr.addr, write=False, now=issue)
             latency = agen + mem_latency
         elif instr.is_store:
-            hierarchy.access(instr.addr, write=True, now=issue)
+            hierarchy_access(instr.addr, write=True, now=issue)
             latency = agen
         else:
             latency = latencies.latency_of(op)
@@ -126,7 +135,7 @@ def simulate_limit(
         # ---- control flow ----------------------------------------------
         if op == OpClass.BRANCH:
             stats.branch_predictions += 1
-            if not predictor.update(instr.pc, bool(instr.taken)):
+            if not predictor_update(instr.pc, bool(instr.taken)):
                 stats.branch_mispredictions += 1
                 resume_cycle = complete + redirect_penalty
                 slots_left = 0

@@ -87,6 +87,48 @@ class R10Core(CycleCore):
                 self.stats.long_latency_branch_mispredictions += 1
 
     # ------------------------------------------------------------------
+    # Quiescence protocol (see pipeline/core.py)
+    # ------------------------------------------------------------------
+
+    def next_work_cycle(self) -> int | None:
+        now = self.now
+        if self._commit_possible():
+            return now
+        if (
+            self.iq_int.next_issuable(now) is not None
+            or self.iq_fp.next_issuable(now) is not None
+        ):
+            return now
+        if self._dispatch_possible():
+            return now
+        return self.fetch.next_fetch_cycle(now)
+
+    def _commit_possible(self) -> bool:
+        """Could the ROB head leave the machine next cycle?"""
+        rob = self.rob
+        return bool(rob) and rob[0].executed
+
+    def _dispatch_possible(self) -> bool:
+        """Mirror of the first iteration of :meth:`_dispatch`'s loop."""
+        instr = self.fetch.peek()
+        if instr is None or len(self.rob) >= self.config.rob_size:
+            return False
+        queue = self.iq_fp if instr.is_fp else self.iq_int
+        if not queue.has_space:
+            return False
+        return not instr.is_mem or self.lsq.has_space
+
+    def on_cycles_skipped(self, start: int, end: int) -> None:
+        self.fetch.account_skipped(start, end)
+
+    def describe_stall(self) -> str:
+        return (
+            f"rob={len(self.rob)}, fetch_buffer={len(self.fetch.buffer)}, "
+            f"iq_int={self.iq_int.occupancy}, iq_fp={self.iq_fp.occupancy}, "
+            f"lsq={self.lsq.occupancy}, {super().describe_stall()}"
+        )
+
+    # ------------------------------------------------------------------
 
     def _commit(self) -> None:
         rob = self.rob

@@ -260,3 +260,35 @@ class RunaheadCore(R10Core):
         # sequence number no longer matches anything the new pipeline waits
         # on, so the notification is inert.
         super().on_complete(entry)
+
+    # ------------------------------------------------------------------
+    # Quiescence protocol
+    # ------------------------------------------------------------------
+
+    def next_work_cycle(self) -> int | None:
+        if (
+            self.in_runahead
+            and self._blocking_load is not None
+            and self._blocking_load.executed
+        ):
+            # Defensive: exit processing is pending (normally handled in
+            # the same step that completed the blocking load).
+            return self.now
+        return super().next_work_cycle()
+
+    def _commit_possible(self) -> bool:
+        """Runahead pseudo-retirement extends the commit conditions."""
+        rob = self.rob
+        if not rob:
+            return False
+        head = rob[0]
+        if head.executed:
+            return True
+        if not head.issued or not head.instr.is_load:
+            return False
+        if self.in_runahead:
+            return True  # an in-episode miss pseudo-retires with INV
+        return (
+            head.mem_level == AccessLevel.MEMORY
+            and head.seq != self._last_episode_seq
+        )

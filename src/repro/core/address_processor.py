@@ -33,11 +33,27 @@ class AddressProcessor:
     # ------------------------------------------------------------------
 
     def new_cycle(self) -> None:
+        """Reset the per-cycle port slots.
+
+        The ports carry no state across cycles, which is what makes them
+        safe under cycle-skipping: a port conflict can only defer an
+        instruction that is *ready*, and a ready instruction already marks
+        the machine non-quiescent, so every contended cycle is simulated.
+        """
         self.ports.new_cycle()
 
     def try_take_port(self) -> bool:
         """Claim one of the global R/W memory ports for this cycle."""
         return self.ports.try_take(FuKind.MEM)
+
+    def describe_pending(self) -> str:
+        """Summary of AP-resident state for deadlock diagnostics."""
+        return (
+            f"ap[lsq={self.lsq.occupancy}, "
+            f"values_int={len(self.value_fifo_int)}, "
+            f"values_fp={len(self.value_fifo_fp)}, "
+            f"ports={self.ports.describe()}]"
+        )
 
     # ------------------------------------------------------------------
 

@@ -65,5 +65,17 @@ class AgingRob:
             return None
         return head
 
+    def head_maturity_cycle(self) -> int | None:
+        """Cycle at which the current head becomes (or became) mature.
+
+        The quiescence protocol uses this as a wake-up time: an immature
+        head is the one purely *time*-driven condition in the D-KIP's
+        Analyze stage, so cycle-skipping must never jump past it.
+        Returns ``None`` when the Aging-ROB is empty.
+        """
+        if not self._entries:
+            return None
+        return self._entries[0].dispatch_cycle + self.timer
+
     def pop_head(self) -> InFlight:
         return self._entries.popleft()

@@ -279,6 +279,95 @@ class DkipProcessor(R10Core):
                 mp.queue.wake(entry)
 
     # ------------------------------------------------------------------
+    # Quiescence protocol
+    # ------------------------------------------------------------------
+
+    def next_work_cycle(self) -> int | None:
+        now = self.now
+        head = self.aging_rob.head_mature(now)
+        if head is not None and self._analyze_progress_possible(head):
+            return now
+        if self._extract_possible():
+            return now
+        if (
+            self.iq_int.next_issuable(now) is not None
+            or self.iq_fp.next_issuable(now) is not None
+            or self.mp_int.has_issuable(now)
+            or self.mp_fp.has_issuable(now)
+        ):
+            return now
+        if self._dispatch_possible():
+            return now
+        wake = self.fetch.next_fetch_cycle(now)
+        if head is None:
+            # An occupied Aging-ROB with an immature head is the one purely
+            # time-driven Analyze condition; never jump past its maturity.
+            maturity = self.aging_rob.head_maturity_cycle()
+            if maturity is not None and maturity > now:
+                wake = maturity if wake is None else min(wake, maturity)
+        return wake
+
+    def _analyze_progress_possible(self, entry: InFlight) -> bool:
+        """Mirror of the first iteration of :meth:`_analyze`'s loop."""
+        if entry.executed:
+            return True
+        instr = entry.instr
+        if entry.issued and instr.is_load and entry.mem_level == AccessLevel.MEMORY:
+            return True
+        if not entry.issued and self.llbv.any_long_source(entry):
+            return self._llib_insert_possible(entry)
+        # Short latency still in flight: Analyze stalls until writeback.
+        return False
+
+    def _llib_insert_possible(self, entry: InFlight) -> bool:
+        llib = self.llib_fp if entry.instr.is_fp else self.llib_int
+        if not llib.has_space:
+            return False
+        if self._has_ready_operand(entry) and not llib.llrf.has_space:
+            return False
+        return True
+
+    def _extract_possible(self) -> bool:
+        for llib, mp in ((self.llib_int, self.mp_int), (self.llib_fp, self.mp_fp)):
+            if mp.has_space and llib.head_extractable():
+                return True
+        return False
+
+    def on_cycles_skipped(self, start: int, end: int) -> None:
+        self.fetch.account_skipped(start, end)
+        entry = self.aging_rob.head_mature(start)
+        if entry is None:
+            return  # empty or immature throughout the skipped range
+        skipped = end - start
+        if not entry.issued and self.llbv.any_long_source(entry):
+            # Every skipped cycle would have attempted (and failed) an LLIB
+            # insertion: replay the per-attempt stall accounting.
+            self.stats.analyze_stall_cycles += skipped
+            self.stats.llib_full_stall_cycles += skipped
+            llib = self.llib_fp if entry.instr.is_fp else self.llib_int
+            llib.full_stalls += skipped
+            if llib.has_space:
+                # The FIFO had room, so the LLRF allocation was what failed.
+                llib.llrf.failed_allocations += skipped
+        else:
+            # Short latency still in flight: per-cycle Analyze stall.
+            self.stats.analyze_stall_cycles += skipped
+
+    def describe_stall(self) -> str:
+        blockers = []
+        for llib in (self.llib_int, self.llib_fp):
+            load = llib.head_blocking_load()
+            if load is not None:
+                blockers.append(f"{llib.name} head waits on load seq={load.seq}")
+        blocked = ("; " + ", ".join(blockers)) if blockers else ""
+        return (
+            f"aging_rob={len(self.aging_rob)}, llib_int={len(self.llib_int)}, "
+            f"llib_fp={len(self.llib_fp)}, mp_int={self.mp_int.queue.occupancy}, "
+            f"mp_fp={self.mp_fp.queue.occupancy}, {self.ap.describe_pending()}"
+            f"{blocked}, {super().describe_stall()}"
+        )
+
+    # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
 

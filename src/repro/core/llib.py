@@ -104,6 +104,11 @@ class LowLocalityInstructionBuffer:
         resolve within a few cycles in the MP's reservation stations.
         This is the property that keeps the in-order MP free of
         head-of-line blocking on memory latency.
+
+        Quiescence note: extractability only ever changes when a producer
+        *completes* (an event) or when the head itself changes (extraction —
+        which is progress), so a blocked LLIB head never needs a timed
+        wake-up; the cycle-skipping engine polls it at every event cycle.
         """
         if not self._entries:
             return False
@@ -112,6 +117,15 @@ class LowLocalityInstructionBuffer:
             if not producer.executed and producer.instr.is_load:
                 return False
         return True
+
+    def head_blocking_load(self) -> InFlight | None:
+        """The unfinished load the head is waiting on (deadlock diagnostics)."""
+        if not self._entries:
+            return None
+        for producer in self._entries[0].sources:
+            if not producer.executed and producer.instr.is_load:
+                return producer
+        return None
 
     def extract(self) -> InFlight:
         """Remove the head (caller verified :meth:`head_extractable`) and

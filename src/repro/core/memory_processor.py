@@ -45,6 +45,16 @@ class MemoryProcessor:
     def has_space(self) -> bool:
         return self.queue.has_space
 
+    def has_issuable(self, now: int) -> bool:
+        """Does a reservation station hold a ready instruction?
+
+        Quiescence hook: MP functional units and the shared AP ports reset
+        every cycle, so the only condition that can hold an otherwise-ready
+        instruction across a quiescent cycle is operand wakeup — which is
+        event-driven.  A ready head therefore means "work possible now".
+        """
+        return self.queue.next_issuable(now) is not None
+
     def dispatch(self, entry) -> None:
         """Accept an instruction extracted from the LLIB."""
         entry.where = "mp"

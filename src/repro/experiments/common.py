@@ -1,16 +1,30 @@
-"""Shared experiment machinery: scales, suite runners, result records."""
+"""Shared experiment machinery: scales, suite runners, result records.
+
+Two pieces keep the figure sweeps fast:
+
+* :func:`run_suite` / :func:`run_many` fan simulations out over a process
+  pool — one worker task per (machine config, workload) pair — sized by
+  the ``REPRO_JOBS`` environment variable (default: the machine's CPU
+  count).  Results always come back in input order, so harness tables are
+  bit-identical to the serial path.
+* :class:`WarmupCache` runs the functional cache warm-up once per
+  (memory config, workload) and hands out snapshot-restored hierarchies,
+  instead of re-streaming the working set for every swept parameter.
+"""
 
 from __future__ import annotations
 
 import csv
 import enum
+import functools
+import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.memory import DEFAULT_MEMORY, MemoryConfig
-from repro.sim.runner import MachineConfig, run_core
+from repro.memory import DEFAULT_MEMORY, MemoryConfig, MemoryHierarchy, warm_caches
+from repro.sim.runner import MachineConfig, run_core, simulate
 from repro.sim.stats import SimStats
 from repro.viz.ascii import table
 from repro.workloads import get_workload, SPECFP_NAMES, SPECINT_NAMES
@@ -65,18 +79,196 @@ class WorkloadPool:
         return workload
 
 
+class WarmupCache:
+    """Caches warmed-hierarchy snapshots keyed by (memory config, workload).
+
+    The functional warm-up streams a workload's whole data region through
+    the hierarchy; sweeps re-run it for every swept parameter even though
+    the resulting cache state only depends on the memory configuration and
+    the workload.  This cache warms once and restores a snapshot for every
+    later request.  Only useful on the serial path — pool workers live in
+    other processes and warm for themselves.
+    """
+
+    def __init__(self, passes: int = 1) -> None:
+        self.passes = passes
+        self._snapshots: dict[tuple, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def hierarchy_for(self, memory: MemoryConfig, workload) -> MemoryHierarchy:
+        """A hierarchy warmed for *workload*, restored from cache if seen."""
+        hierarchy = MemoryHierarchy(memory)
+        hierarchy.restore(self.snapshot_for(memory, workload))
+        return hierarchy
+
+    def snapshot_for(self, memory: MemoryConfig, workload) -> dict:
+        """The warmed snapshot for (memory, workload), warming on first use.
+
+        Also used directly by the process-pool path: snapshots are
+        picklable, so the parent warms once and ships the state to workers
+        in the task tuple instead of every worker re-streaming the working
+        set.
+        """
+        key = (memory, workload.name, workload.seed)
+        snapshot = self._snapshots.get(key)
+        if snapshot is None:
+            self.misses += 1
+            hierarchy = MemoryHierarchy(memory)
+            if workload.regions:
+                warm_caches(hierarchy, workload.regions, passes=self.passes)
+            snapshot = hierarchy.snapshot()
+            self._snapshots[key] = snapshot
+        else:
+            self.hits += 1
+        return snapshot
+
+
+# ----------------------------------------------------------------------
+# Suite runners (serial or process-pool)
+# ----------------------------------------------------------------------
+
+
+def resolve_jobs(jobs: int | None, num_tasks: int) -> int:
+    """Worker-count policy: explicit argument > ``REPRO_JOBS`` > CPU count,
+    never more workers than tasks."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer worker count, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, min(jobs, num_tasks))
+
+
+@functools.lru_cache(maxsize=None)
+def _worker_workload(name: str, seed: int):
+    """Per-process workload memo: pool processes persist across map items,
+    so each worker materializes a given (name, seed) workload — and hence
+    its deterministic trace — once, no matter how many configs reuse it."""
+    return get_workload(name, seed=seed)
+
+
+def _run_pair(task) -> SimStats:
+    """Pool worker: simulate one (config, workload) pair.
+
+    Module-level (picklable) and self-contained: the workload is rebuilt
+    from its name and seed inside the worker, so only small config objects
+    (plus, optionally, a pre-warmed cache snapshot) cross the process
+    boundary.
+    """
+    config, name, num_instructions, memory, seed, snapshot = task
+    workload = _worker_workload(name, seed)
+    if snapshot is None:
+        return run_core(config, workload, num_instructions, memory=memory)
+    hierarchy = MemoryHierarchy(memory)
+    hierarchy.restore(snapshot)
+    stats = simulate(
+        config, workload.trace(num_instructions), memory=memory, hierarchy=hierarchy
+    )
+    stats.workload = workload.name
+    return stats
+
+
+def _make_tasks(
+    config: MachineConfig,
+    names: Sequence[str],
+    num_instructions: int,
+    pool: WorkloadPool,
+    memory: MemoryConfig,
+    warm_cache: WarmupCache | None,
+) -> list[tuple]:
+    """Build pool-worker task tuples, warming shared snapshots up front."""
+    return [
+        (
+            config,
+            name,
+            num_instructions,
+            memory,
+            pool.seed,
+            None
+            if warm_cache is None
+            else warm_cache.snapshot_for(memory, pool.get(name)),
+        )
+        for name in names
+    ]
+
+
 def run_suite(
     config: MachineConfig,
     names: Sequence[str],
     num_instructions: int,
     pool: WorkloadPool,
     memory: MemoryConfig = DEFAULT_MEMORY,
+    jobs: int | None = None,
+    warm_cache: WarmupCache | None = None,
 ) -> list[SimStats]:
-    """Simulate every named benchmark on *config*; returns per-run stats."""
-    return [
-        run_core(config, pool.get(name), num_instructions, memory=memory)
-        for name in names
+    """Simulate every named benchmark on *config*; returns per-run stats
+    in the order of *names* regardless of worker scheduling."""
+    jobs = resolve_jobs(jobs, len(names))
+    if jobs <= 1:
+        return [
+            run_core(
+                config,
+                pool.get(name),
+                num_instructions,
+                memory=memory,
+                warm_cache=warm_cache,
+            )
+            for name in names
+        ]
+    # Parallel path: warm once in the parent and ship snapshots to the
+    # workers so the warm-up hoisting survives the fan-out.
+    tasks = _make_tasks(config, names, num_instructions, pool, memory, warm_cache)
+    with multiprocessing.Pool(processes=jobs) as workers:
+        return workers.map(_run_pair, tasks)
+
+
+def run_many(
+    configs: Sequence[MachineConfig],
+    names: Sequence[str],
+    num_instructions: int,
+    pool: WorkloadPool,
+    memory: MemoryConfig = DEFAULT_MEMORY,
+    jobs: int | None = None,
+    warm_cache: WarmupCache | None = None,
+) -> list[list[SimStats]]:
+    """Fan the full (config x workload) grid out over one process pool.
+
+    Returns one list of per-workload stats per config, in input order —
+    the same shape as calling :func:`run_suite` once per config, but with
+    every pair in flight at once.
+    """
+    jobs = resolve_jobs(jobs, len(configs) * len(names))
+    if jobs <= 1:
+        return [
+            run_suite(
+                config,
+                names,
+                num_instructions,
+                pool,
+                memory=memory,
+                jobs=1,
+                warm_cache=warm_cache,
+            )
+            for config in configs
+        ]
+    tasks = [
+        task
+        for config in configs
+        for task in _make_tasks(
+            config, names, num_instructions, pool, memory, warm_cache
+        )
     ]
+    with multiprocessing.Pool(processes=jobs) as workers:
+        results = workers.map(_run_pair, tasks)
+    stride = len(names)
+    return [results[i * stride : (i + 1) * stride] for i in range(len(configs))]
 
 
 def mean_ipc(stats: Sequence[SimStats]) -> float:

@@ -22,7 +22,7 @@ from repro.experiments.common import (
     Stopwatch,
     WorkloadPool,
     mean_ipc,
-    run_suite,
+    run_many,
     scale_of,
     suite_names,
 )
@@ -59,8 +59,10 @@ def run(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
             names = suite_names(suite, scale)
             base = None
             chart_data = {}
-            for machine in MACHINES:
-                stats = run_suite(machine, names, n, pool)
+            # One pool task per (machine, workload) pair: all four machines'
+            # suites are in flight at once instead of looping serially.
+            suite_stats = run_many(MACHINES, names, n, pool)
+            for machine, stats in zip(MACHINES, suite_stats):
                 ipc = mean_ipc(stats)
                 if base is None:
                     base = ipc

@@ -19,6 +19,7 @@ from repro.experiments.common import (
     INSTRUCTIONS,
     Scale,
     Stopwatch,
+    WarmupCache,
     WorkloadPool,
     mean_ipc,
     run_suite,
@@ -63,6 +64,9 @@ def run(scale: Scale | str = Scale.DEFAULT, suite: str = "fp") -> ExperimentResu
         scale=scale,
     )
     series: dict[str, list[tuple[float, float]]] = {}
+    # Every machine re-runs the same (L2 size, workload) warm-up; warm once
+    # per pair and restore snapshots for the other machines.
+    warm_cache = WarmupCache()
     with Stopwatch(result):
         for label, machine in _machines(scale):
             row: list[object] = [label]
@@ -70,7 +74,9 @@ def run(scale: Scale | str = Scale.DEFAULT, suite: str = "fp") -> ExperimentResu
             cp_fractions = []
             for size in sizes:
                 memory = memory_config_for_l2_size(size)
-                stats = run_suite(machine, names, n, pool, memory=memory)
+                stats = run_suite(
+                    machine, names, n, pool, memory=memory, warm_cache=warm_cache
+                )
                 ipc = mean_ipc(stats)
                 fractions = [s.cp_fraction for s in stats if s.committed_mp or s.committed_cp]
                 cp_fractions.append(sum(fractions) / len(fractions) if fractions else 1.0)

@@ -13,6 +13,13 @@ import enum
 from collections import OrderedDict
 
 
+#: Outstanding-fill table size that triggers an expiry sweep on the next
+#: recorded fill.  Entries expire within one memory latency of creation, so
+#: the table stays bounded by the access rate times the round-trip time;
+#: the sweep only exists to reclaim the memory of long-dead records.
+FILL_SWEEP_THRESHOLD = 1024
+
+
 class AccessLevel(enum.IntEnum):
     """Hierarchy level that satisfied an access."""
 
@@ -146,24 +153,74 @@ class Cache:
     def pending_fill(self, line: int, now: int) -> int | None:
         """Cycles remaining until an in-flight fill of *line* completes.
 
-        Returns ``None`` when no fill for the line is outstanding.
+        Returns ``None`` when no fill for the line is outstanding.  This is
+        a pure probe: expired entries are left in place (they no longer
+        affect any result) and reclaimed by :meth:`record_fill`'s periodic
+        sweep, so two probes of the same line at the same cycle are
+        guaranteed to agree and read paths never mutate fill state.
         """
         ready = self._fills.get(line)
-        if ready is None:
-            return None
-        if ready <= now:
-            del self._fills[line]
+        if ready is None or ready <= now:
             return None
         return ready - now
 
-    def record_fill(self, line: int, ready_cycle: int) -> None:
-        self._fills[line] = ready_cycle
+    def record_fill(self, line: int, ready_cycle: int, now: int | None = None) -> None:
+        """Record that *line* is being filled, arriving at *ready_cycle*.
+
+        Passing *now* (the cycle the miss was initiated) lets the table
+        sweep out expired entries once it grows past
+        ``FILL_SWEEP_THRESHOLD``, bounding it to the fills genuinely
+        outstanding inside one memory round-trip regardless of run length.
+        """
+        fills = self._fills
+        fills[line] = ready_cycle
+        if now is not None and len(fills) > FILL_SWEEP_THRESHOLD:
+            self.sweep_fills(now)
+
+    def sweep_fills(self, now: int) -> int:
+        """Drop fill records that completed at or before *now*.
+
+        Returns the number of entries removed.  Outstanding (future)
+        fills are never dropped — forgetting one would turn an overlapped
+        miss into a free hit and change simulated timing.
+        """
+        fills = self._fills
+        expired = [line for line, ready in fills.items() if ready <= now]
+        for line in expired:
+            del fills[line]
+        return len(expired)
+
+    @property
+    def outstanding_fills(self) -> int:
+        return len(self._fills)
 
     # ------------------------------------------------------------------
 
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+
+    # ------------------------------------------------------------------
+    # State snapshot (warm-up reuse across runs)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Copy of the full cache state (contents, fills, statistics)."""
+        return {
+            "sets": [dict(s) for s in self._sets],
+            "infinite_lines": set(self._infinite_lines),
+            "fills": dict(self._fills),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot`; the snapshot stays reusable."""
+        self._sets = [OrderedDict(s) for s in state["sets"]]
+        self._infinite_lines = set(state["infinite_lines"])
+        self._fills = dict(state["fills"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         size = "inf" if self.size is None else f"{self.size // 1024}KB"

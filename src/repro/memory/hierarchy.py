@@ -85,8 +85,8 @@ class MemoryHierarchy:
         self.l2.fill(line)
         self.l1.fill(line)
         ready = now + latency
-        self.l2.record_fill(line, ready)
-        self.l1.record_fill(line, ready)
+        self.l2.record_fill(line, ready, now)
+        self.l1.record_fill(line, ready, now)
         return latency, AccessLevel.MEMORY
 
     # ------------------------------------------------------------------
@@ -100,6 +100,30 @@ class MemoryHierarchy:
         if self.l2 is not None:
             self.l2.fill(line)
         self.l1.fill(line)
+
+    def snapshot(self) -> dict:
+        """Copy of the whole hierarchy's state (cache contents + stats).
+
+        Together with :meth:`restore` this lets expensive functional
+        warm-up run once per (memory config, workload) and be reinstated
+        for every simulated machine/window, instead of re-streaming the
+        working set for each run.
+        """
+        state = {"l1": self.l1.snapshot()}
+        if self.l2 is not None:
+            state["l2"] = self.l2.snapshot()
+        if self.memory is not None:
+            state["memory_accesses"] = self.memory.accesses
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` taken from an identically
+        configured hierarchy; the snapshot stays reusable."""
+        self.l1.restore(state["l1"])
+        if self.l2 is not None:
+            self.l2.restore(state["l2"])
+        if self.memory is not None:
+            self.memory.accesses = state.get("memory_accesses", 0)
 
     def is_long_latency(self, level: AccessLevel) -> bool:
         """The D-KIP classification: off-chip accesses are long latency."""

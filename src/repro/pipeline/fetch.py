@@ -88,6 +88,32 @@ class FetchUnit:
                 # cycle (one-cycle fetch-group break).
                 return
 
+    def next_fetch_cycle(self, now: int) -> int | None:
+        """Earliest cycle >= *now* at which fetch could pull instructions.
+
+        Part of the quiescence protocol: returns ``now`` when fetch can run
+        immediately, the redirect resume cycle when fetch is merely waiting
+        out a front-end penalty, or ``None`` when only a backend event (a
+        branch resolving, dispatch freeing buffer space) can restart it.
+        """
+        if self.exhausted or self._waiting_seq is not None:
+            return None
+        if len(self.buffer) >= self.buffer_size:
+            return None
+        if now < self._resume_cycle:
+            return self._resume_cycle
+        return now
+
+    def account_skipped(self, start: int, end: int) -> None:
+        """Replay the stall accounting :meth:`cycle` would have done for
+        the fast-forwarded cycles ``[start, end)``."""
+        if self.exhausted:
+            return
+        if self._waiting_seq is not None:
+            self.stats.fetch_stall_cycles += end - start
+        elif start < self._resume_cycle:
+            self.stats.fetch_stall_cycles += min(end, self._resume_cycle) - start
+
     def pop(self) -> Instruction | None:
         """Hand the oldest buffered instruction to dispatch."""
         if self.buffer:

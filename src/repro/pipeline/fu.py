@@ -45,6 +45,9 @@ def fu_kind_of(op: OpClass) -> FuKind:
     return _KIND_OF_OP[op]
 
 
+_ZERO_USED = [0, 0, 0, 0, 0]
+
+
 class FuPool:
     """Issue-slot pool for one cycle; call :meth:`new_cycle` every cycle."""
 
@@ -61,8 +64,14 @@ class FuPool:
         self._used = [0, 0, 0, 0, 0]
 
     def new_cycle(self) -> None:
-        used = self._used
-        used[0] = used[1] = used[2] = used[3] = used[4] = 0
+        self._used[:] = _ZERO_USED
+
+    def describe(self) -> str:
+        """Slot usage summary for deadlock diagnostics."""
+        return "/".join(
+            f"{kind.name}:{self._used[kind]}of{self._limits[kind]}"
+            for kind in FuKind
+        )
 
     def try_take(self, kind: FuKind) -> bool:
         """Claim an issue slot of *kind*; False when all are taken."""

@@ -18,6 +18,12 @@ from repro.pipeline.entry import InFlight
 from repro.sim.config import SchedulerPolicy
 
 
+#: Detached entries tolerated in the internal containers before a compaction
+#: pass rebuilds them (only reached when the stale entries also outnumber the
+#: live ones; see :meth:`IssueQueue.remove`).
+COMPACT_THRESHOLD = 32
+
+
 class IssueQueue:
     """One scheduling window of bounded capacity."""
 
@@ -29,6 +35,12 @@ class IssueQueue:
         self._in_order = policy == SchedulerPolicy.IN_ORDER
         self._fifo: deque[InFlight] = deque()
         self._ready_heap: list[tuple[int, InFlight]] = []
+        # Entries detached via remove() stay in the containers until their
+        # lazy drop at the head; this counts them so low-issue-rate runs
+        # (where detached entries rarely reach the head) cannot accumulate
+        # unbounded garbage.
+        self._stale = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------------
 
@@ -52,10 +64,39 @@ class IssueQueue:
 
         The entry is dropped lazily from the internal containers; only the
         occupancy accounting is updated here.  The caller re-owns the entry.
+        When stale entries come to dominate the containers (more than half,
+        past a small floor), they are compacted away so long runs with low
+        issue rates cannot accumulate unbounded garbage.
         """
         self.occupancy -= 1
         if entry.owner is self:
             entry.owner = None
+        self._stale += 1
+        if self._stale >= COMPACT_THRESHOLD and self._stale * 2 > (
+            len(self._fifo) + len(self._ready_heap)
+        ):
+            # More removals than surviving container entries: most of the
+            # counted removals were never lazily dropped.  (The counter may
+            # overestimate — an OOO entry that was never ready lives in no
+            # container — which only makes compaction a little eager.)
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the containers without issued/detached entries."""
+        if self._in_order:
+            self._fifo = deque(
+                e for e in self._fifo if not e.issued and e.owner is self
+            )
+        else:
+            live = [
+                (seq, e)
+                for seq, e in self._ready_heap
+                if not e.issued and e.owner is self
+            ]
+            heapq.heapify(live)
+            self._ready_heap = live
+        self._stale = 0
+        self.compactions += 1
 
     def wake(self, entry: InFlight) -> None:
         """Called when *entry*'s last outstanding source completed."""
@@ -77,6 +118,8 @@ class IssueQueue:
                 self._fifo[0].issued or self._fifo[0].owner is not self
             ):
                 self._fifo.popleft()
+                if self._stale:
+                    self._stale -= 1
             if self._fifo and self._fifo[0].unready == 0:
                 return self._fifo[0]
             return None
@@ -84,6 +127,8 @@ class IssueQueue:
             entry = self._ready_heap[0][1]
             if entry.issued or entry.owner is not self:
                 heapq.heappop(self._ready_heap)
+                if self._stale:
+                    self._stale -= 1
                 continue
             return entry
         return None
@@ -120,4 +165,5 @@ class IssueQueue:
             out.extend(e for _, e in self._ready_heap if not e.issued)
             self._ready_heap.clear()
         self.occupancy = 0
+        self._stale = 0
         return out

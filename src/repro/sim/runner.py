@@ -55,6 +55,8 @@ def simulate(
     predictor_name: str | None = None,
     warmup_passes: int = 1,
     max_cycles: int | None = None,
+    hierarchy: MemoryHierarchy | None = None,
+    fast_forward: bool | None = None,
 ) -> SimStats:
     """Simulate a materialized *trace* on the machine described by *config*.
 
@@ -62,16 +64,22 @@ def simulate(
         regions: Workload data regions for functional cache warm-up
             (skipped when None or when the hierarchy has no finite cache).
         predictor_name: Override the config's branch predictor.
+        hierarchy: Pre-built (typically pre-warmed) memory hierarchy; when
+            given, *memory*/*regions*/*warmup_passes* are ignored and the
+            hierarchy is consumed by this run.
+        fast_forward: Override the engine's cycle-skipping default
+            (``False`` forces the tick-every-cycle reference mode).
     """
-    hierarchy = MemoryHierarchy(memory)
-    if regions:
-        warm_caches(hierarchy, regions, passes=warmup_passes)
+    if hierarchy is None:
+        hierarchy = MemoryHierarchy(memory)
+        if regions:
+            warm_caches(hierarchy, regions, passes=warmup_passes)
     if predictor_name is None:
         predictor_name = getattr(config, "predictor", None) or "perceptron"
     predictor = make_predictor(predictor_name)
     stats = SimStats(config=getattr(config, "name", str(config)))
     core = build_core(config, iter(trace), hierarchy, predictor, stats)
-    result = core.run(len(trace), max_cycles=max_cycles)
+    result = core.run(len(trace), max_cycles=max_cycles, fast_forward=fast_forward)
     result.branch_predictions = predictor.predictions
     result.branch_mispredictions = predictor.mispredictions
     return result
@@ -84,16 +92,29 @@ def run_core(
     memory: MemoryConfig = DEFAULT_MEMORY,
     warmup: bool = True,
     predictor_name: str | None = None,
+    warm_cache=None,
 ) -> SimStats:
-    """Convenience wrapper: materialize a workload trace and simulate it."""
+    """Convenience wrapper: materialize a workload trace and simulate it.
+
+    Args:
+        warm_cache: Optional :class:`repro.experiments.common.WarmupCache`;
+            when given (and *warmup* is on), the functional cache warm-up
+            for (memory, workload) runs once and later runs restore the
+            snapshot instead of re-streaming the working set.
+    """
     trace = workload.trace(num_instructions)
+    hierarchy = None
     regions = workload.regions if warmup else None
+    if warmup and warm_cache is not None:
+        hierarchy = warm_cache.hierarchy_for(memory, workload)
+        regions = None
     stats = simulate(
         config,
         trace,
         memory=memory,
         regions=regions,
         predictor_name=predictor_name,
+        hierarchy=hierarchy,
     )
     stats.workload = workload.name
     return stats

@@ -71,3 +71,80 @@ def test_stopwatch_records_elapsed():
     with Stopwatch(result):
         pass
     assert result.elapsed_seconds >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Process-pool suite runner and warm-up cache
+# ----------------------------------------------------------------------
+
+
+def test_resolve_jobs_env_override(monkeypatch):
+    from repro.experiments.common import resolve_jobs
+
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(3, 10) == 3          # explicit argument wins
+    assert resolve_jobs(8, 2) == 2           # never more workers than tasks
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs(None, 10) == 5       # env override
+    assert resolve_jobs(None, 3) == 3
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert resolve_jobs(None, 10) == 1       # floor at one worker
+
+
+def test_parallel_run_suite_matches_serial():
+    from repro.experiments.common import run_suite
+    from repro.sim.config import R10_64
+
+    pool = WorkloadPool()
+    names = ("swim", "mcf")
+    serial = run_suite(R10_64, names, 600, pool, jobs=1)
+    fanned = run_suite(R10_64, names, 600, pool, jobs=2)
+    assert [s.workload for s in fanned] == list(names)  # deterministic order
+    for a, b in zip(serial, fanned):
+        assert a == b
+
+
+def test_run_many_matches_per_config_suites():
+    from repro.experiments.common import run_many, run_suite
+    from repro.sim.config import R10_64, R10_256
+
+    pool = WorkloadPool()
+    names = ("swim",)
+    grid = run_many((R10_64, R10_256), names, 600, pool, jobs=2)
+    assert len(grid) == 2 and all(len(row) == 1 for row in grid)
+    for config, row in zip((R10_64, R10_256), grid):
+        assert row == run_suite(config, names, 600, pool, jobs=1)
+
+
+def test_warmup_cache_restores_identical_state():
+    from repro.experiments.common import WarmupCache
+    from repro.memory import DEFAULT_MEMORY
+    from repro.sim.config import R10_64
+    from repro.sim.runner import run_core
+
+    pool = WorkloadPool()
+    workload = pool.get("swim")
+    cache = WarmupCache()
+    fresh = run_core(R10_64, workload, 600)
+    warmed_once = run_core(R10_64, workload, 600, warm_cache=cache)
+    warmed_twice = run_core(R10_64, workload, 600, warm_cache=cache)
+    assert cache.misses == 1 and cache.hits == 1
+    assert fresh == warmed_once == warmed_twice
+    # A different memory configuration is a different cache key.
+    run_core(R10_64, workload, 600, memory=DEFAULT_MEMORY.with_mem_latency(100),
+             warm_cache=cache)
+    assert cache.misses == 2
+
+
+def test_parallel_run_suite_ships_warm_snapshots():
+    from repro.experiments.common import WarmupCache, run_suite
+    from repro.sim.config import R10_64
+
+    pool = WorkloadPool()
+    names = ("swim", "mcf")
+    cache = WarmupCache()
+    serial = run_suite(R10_64, names, 600, pool, jobs=1)
+    fanned = run_suite(R10_64, names, 600, pool, jobs=2, warm_cache=cache)
+    assert cache.misses == 2  # warmed once per workload, in the parent
+    for a, b in zip(serial, fanned):
+        assert a == b

@@ -61,8 +61,15 @@ def test_pending_fill_countdown():
     c.record_fill(5, ready_cycle=100)
     assert c.pending_fill(5, now=60) == 40
     assert c.pending_fill(5, now=100) is None
-    # entry removed once elapsed
+    # probing is pure: the earlier answer is reproducible, regardless of
+    # any probes that happened in between
+    assert c.pending_fill(5, now=60) == 40
+    # an explicit sweep reclaims expired entries without touching live ones
+    c.record_fill(7, ready_cycle=300)
+    assert c.sweep_fills(now=100) == 1
+    assert c.outstanding_fills == 1
     assert c.pending_fill(5, now=60) is None
+    assert c.pending_fill(7, now=100) == 200
 
 
 def test_pending_fill_unknown_line():

@@ -165,3 +165,62 @@ def test_property_ino_is_fifo(ready_flags):
             break
         expected += 1
     assert len(issued) == expected
+
+
+# ----------------------------------------------------------------------
+# Lazy-removal garbage compaction
+# ----------------------------------------------------------------------
+
+
+def test_ooo_compacts_when_stale_entries_dominate():
+    q = ooo(size=256)
+    entries = [make_entry(i) for i in range(80)]
+    for e in entries:
+        q.add(e)
+    # Detach most entries without ever touching the head (the D-KIP's
+    # Analyze stage does this when it moves instructions to the LLIB on a
+    # low-issue-rate run): the lazy drops at the head never fire.
+    for e in entries[10:]:
+        q.remove(e)
+    assert q.compactions >= 1
+    # Garbage is bounded: at most the compaction threshold of stale entries
+    # can outlive their removal (compaction fires as soon as they dominate).
+    from repro.pipeline.queues import COMPACT_THRESHOLD
+
+    assert len(q._ready_heap) <= 10 + COMPACT_THRESHOLD
+    # The survivors still issue in seq order.
+    order = []
+    while (e := q.next_issuable(0)) is not None:
+        q.take(e)
+        order.append(e.seq)
+    assert order == list(range(10))
+
+
+def test_ino_compacts_when_stale_entries_dominate():
+    q = ino(size=256)
+    entries = [make_entry(i, unready=1) for i in range(80)]
+    for e in entries:
+        q.add(e)
+    for e in entries[1:74]:
+        q.remove(e)
+        e.owner = None
+    assert q.compactions >= 1
+    assert len(q._fifo) == 80 - 73
+    assert q.occupancy == 80 - 73
+
+
+def test_compaction_preserves_waiting_entries():
+    q = ooo(size=256)
+    keeper = make_entry(999, unready=1)
+    q.add(keeper)  # not ready: lives outside the ready heap
+    entries = [make_entry(i) for i in range(64)]
+    for e in entries:
+        q.add(e)
+    for e in entries:
+        q.remove(e)
+    assert q.compactions >= 1
+    assert q.occupancy == 1
+    # Wakeup still lands the keeper in the (rebuilt) ready heap.
+    keeper.unready = 0
+    q.wake(keeper)
+    assert q.next_issuable(0) is keeper
