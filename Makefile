@@ -3,16 +3,26 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-baseline experiments
+.PHONY: test lint bench bench-smoke bench-baseline experiments
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Static checks (CI runs the same commands).
+lint:
+	ruff check src tests benchmarks examples
 
 # Opt-in benchmark regression gate: runs the simulator-throughput
 # pytest-benchmark group and fails on >25% mean-time regressions against
 # benchmarks/BENCH_baseline.json.
 bench:
 	$(PYTHON) benchmarks/compare.py
+
+# Non-blocking throughput signal: tiny-scale run, machine-readable
+# verdict in bench-report.json, always exits 0 (CI uploads the report as
+# an artifact instead of gating on it).
+bench-smoke:
+	$(PYTHON) benchmarks/compare.py --no-gate --report-json bench-report.json
 
 # Refresh the committed baseline after an intentional performance change.
 bench-baseline:

@@ -75,25 +75,61 @@ def write_baseline(path: Path, means: dict[str, float], group: str) -> None:
 
 def compare(
     baseline: dict[str, float], current: dict[str, float], threshold: float
-) -> tuple[list[str], list[str]]:
-    """Returns (report lines, regression lines)."""
+) -> tuple[list[str], list[str], dict[str, dict]]:
+    """Returns (report lines, regression lines, per-benchmark records)."""
     lines, regressions = [], []
+    records: dict[str, dict] = {}
     for name in sorted(set(baseline) | set(current)):
         base, new = baseline.get(name), current.get(name)
         if base is None:
             lines.append(f"  NEW      {name}: {new:.4f}s (no baseline; run --update)")
+            records[name] = {"baseline": None, "current": new, "delta": None,
+                             "status": "new"}
             continue
         if new is None:
             regressions.append(f"  MISSING  {name}: in baseline but not in this run")
+            records[name] = {"baseline": base, "current": None, "delta": None,
+                             "status": "missing"}
             continue
         delta = (new - base) / base
-        tag = "ok"
-        line = f"  {tag:8s} {name}: {base:.4f}s -> {new:.4f}s ({delta:+.1%})"
+        status = "ok"
+        line = f"  {status:8s} {name}: {base:.4f}s -> {new:.4f}s ({delta:+.1%})"
         if delta > threshold:
+            status = "regress"
             line = f"  REGRESS  {name}: {base:.4f}s -> {new:.4f}s ({delta:+.1%})"
             regressions.append(line)
+        records[name] = {"baseline": base, "current": new,
+                         "delta": round(delta, 4), "status": status}
         lines.append(line)
-    return lines, regressions
+    return lines, regressions, records
+
+
+def write_report(
+    path: Path,
+    *,
+    group: str,
+    threshold: float,
+    gated: bool,
+    verdict: str,
+    records: dict[str, dict],
+) -> None:
+    """Machine-readable verdict for CI artifact upload."""
+    payload = {
+        "group": group,
+        "threshold": threshold,
+        "gated": gated,
+        "verdict": verdict,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "regressions": [
+            name
+            for name, record in records.items()
+            if record["status"] in ("regress", "missing")
+        ],
+        "benchmarks": records,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"report written: {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -118,6 +154,16 @@ def main(argv: list[str] | None = None) -> int:
         "--json", type=Path, default=None,
         help="reuse an existing --benchmark-json file instead of running pytest",
     )
+    parser.add_argument(
+        "--report-json", type=Path, default=None,
+        help="write a machine-readable verdict (group, per-benchmark deltas, "
+        "regressions) to this path",
+    )
+    parser.add_argument(
+        "--no-gate", "--smoke", action="store_true", dest="no_gate",
+        help="report (and write --report-json) but always exit 0; the CI "
+        "bench-smoke job uses this as a non-blocking signal",
+    )
     args = parser.parse_args(argv)
 
     if args.json is not None:
@@ -139,18 +185,34 @@ def main(argv: list[str] | None = None) -> int:
 
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}; run with --update to create one")
-        return 2
+        if args.report_json:
+            records = {
+                name: {"baseline": None, "current": mean, "delta": None,
+                       "status": "new"}
+                for name, mean in sorted(current.items())
+            }
+            write_report(
+                args.report_json, group=args.group, threshold=args.threshold,
+                gated=not args.no_gate, verdict="no-baseline", records=records,
+            )
+        return 0 if args.no_gate else 2
 
     baseline = json.loads(args.baseline.read_text())["means"]
-    lines, regressions = compare(baseline, current, args.threshold)
+    lines, regressions, records = compare(baseline, current, args.threshold)
     print(f"benchmark group {args.group!r} vs {args.baseline.name} "
           f"(threshold {args.threshold:.0%}):")
     print("\n".join(lines))
+    verdict = "regressions" if regressions else "pass"
+    if args.report_json:
+        write_report(
+            args.report_json, group=args.group, threshold=args.threshold,
+            gated=not args.no_gate, verdict=verdict, records=records,
+        )
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond "
               f"{args.threshold:.0%}:")
         print("\n".join(regressions))
-        return 1
+        return 0 if args.no_gate else 1
     print("\nno regressions.")
     return 0
 

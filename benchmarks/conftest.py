@@ -9,8 +9,6 @@ qualitative shape the paper reports.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments.common import Scale
 from repro.experiments.registry import get_experiment
 

@@ -18,7 +18,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.isa import Instruction, OpClass
+from repro.isa import Instruction
 from repro.isa.registers import NUM_REGS
 from repro.memory.cache import AccessLevel
 from repro.memory.hierarchy import MemoryHierarchy

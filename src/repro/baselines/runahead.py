@@ -43,7 +43,7 @@ from repro.pipeline.fu import FuPool
 from repro.pipeline.lsq import LoadStoreQueue
 from repro.pipeline.queues import IssueQueue
 from repro.pipeline.regstate import RegisterTracker
-from repro.sim.config import CoreConfig, R10_64
+from repro.sim.config import CoreConfig
 from repro.sim.stats import SimStats
 from repro.baselines.ooo import R10Core
 

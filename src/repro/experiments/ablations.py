@@ -26,6 +26,7 @@ from repro.experiments.common import (
     Stopwatch,
     WorkloadPool,
     mean_ipc,
+    run_core_cached,
     run_suite,
     scale_of,
     suite_names,
@@ -33,7 +34,9 @@ from repro.experiments.common import (
 from repro.sim.config import DKIP_2048, KILO_1024, R10_64, RunaheadConfig
 
 
-def run_timer(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
+def run_timer(
+    scale: Scale | str = Scale.DEFAULT, store=None, force=False
+) -> ExperimentResult:
     """Aging-ROB timer sweep (capacity follows: timer x decode width)."""
     scale = scale_of(scale)
     n = INSTRUCTIONS[scale]
@@ -53,7 +56,7 @@ def run_timer(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
             config = dataclasses.replace(
                 DKIP_2048, name=f"timer-{timer}", rob_timer=timer, cache_processor=cp
             )
-            ipc = mean_ipc(run_suite(config, names, n, pool))
+            ipc = mean_ipc(run_suite(config, names, n, pool, store=store, force=force))
             result.rows.append([timer, timer * 4, round(ipc, 3)])
     result.notes.append(
         "The paper picks 16 cycles: enough for the L2 tag probe; much "
@@ -62,7 +65,9 @@ def run_timer(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
     return result
 
 
-def run_llib_size(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
+def run_llib_size(
+    scale: Scale | str = Scale.DEFAULT, store=None, force=False
+) -> ExperimentResult:
     """LLIB capacity sweep (the FIFO is cheap, so how much is needed?)."""
     scale = scale_of(scale)
     n = INSTRUCTIONS[scale]
@@ -77,13 +82,15 @@ def run_llib_size(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
     with Stopwatch(result):
         for size in (64, 256, 1024, 2048, 4096):
             config = dataclasses.replace(DKIP_2048, name=f"llib-{size}", llib_size=size)
-            stats = run_suite(config, names, n, pool)
+            stats = run_suite(config, names, n, pool, store=store, force=force)
             stalls = sum(s.llib_full_stall_cycles for s in stats)
             result.rows.append([size, round(mean_ipc(stats), 3), stalls])
     return result
 
 
-def run_predictor(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
+def run_predictor(
+    scale: Scale | str = Scale.DEFAULT, store=None, force=False
+) -> ExperimentResult:
     """Branch predictor ablation on the D-KIP (Table 2 uses the perceptron)."""
     scale = scale_of(scale)
     n = INSTRUCTIONS[scale]
@@ -97,17 +104,20 @@ def run_predictor(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
     )
     with Stopwatch(result):
         for predictor in ("perceptron", "gshare", "bimodal", "always-taken"):
-            from repro.sim.runner import run_core
-
             ipcs = [
-                run_core(DKIP_2048, pool.get(b), n, predictor_name=predictor).ipc
+                run_core_cached(
+                    DKIP_2048, pool.get(b), n, predictor_name=predictor,
+                    store=store, force=force,
+                ).ipc
                 for b in names
             ]
             result.rows.append([predictor, round(sum(ipcs) / len(ipcs), 3)])
     return result
 
 
-def run_runahead(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
+def run_runahead(
+    scale: Scale | str = Scale.DEFAULT, store=None, force=False
+) -> ExperimentResult:
     """Runahead execution vs the window-based machines (SpecFP)."""
     scale = scale_of(scale)
     n = INSTRUCTIONS[scale]
@@ -122,7 +132,7 @@ def run_runahead(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
     machines = (R10_64, RunaheadConfig(), KILO_1024, DKIP_2048)
     with Stopwatch(result):
         for machine in machines:
-            ipc = mean_ipc(run_suite(machine, names, n, pool))
+            ipc = mean_ipc(run_suite(machine, names, n, pool, store=store, force=force))
             result.rows.append([machine.name, round(ipc, 3)])
     result.notes.append(
         "Expected shape: runahead lands between R10-64 and the true "

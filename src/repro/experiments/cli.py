@@ -4,17 +4,28 @@ Usage::
 
     python -m repro.experiments all
     python -m repro.experiments fig9 fig12 --scale full
-    python -m repro.experiments fig3 --csv results/
+    python -m repro.experiments fig3 --csv results/ --json results/
+    dkip-experiments fig9 --store .repro-store     # cached, resumable
+    dkip-experiments cache stats                   # inspect the store
+    dkip-experiments cache verify --sample 3       # catch stale caches
     dkip-experiments --list
+
+The result store (``--store DIR``, or the ``REPRO_STORE`` environment
+variable) makes every sweep incremental: cells already on disk are not
+re-simulated, and a sweep killed mid-flight resumes from the completed
+cells.  ``--force`` recomputes and overwrites; ``--no-store`` ignores
+any configured store for this invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from repro.experiments.common import Scale
+from repro.experiments.common import Scale, compute_cell
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.store import ResultStore
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -22,12 +33,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="dkip-experiments",
         description="Regenerate the tables and figures of 'A Decoupled "
         "KILO-Instruction Processor' (HPCA 2006)",
+        epilog="cache subcommands: 'cache stats' (store inventory), "
+        "'cache prune [--all]' (drop corrupt/stale entries), "
+        "'cache verify [--sample N]' (re-run stored cells and diff).",
     )
     parser.add_argument(
         "experiments",
         nargs="*",
         default=["all"],
-        help="experiment names (e.g. fig9 fig12), or 'all'",
+        help="experiment names (e.g. fig9 fig12), 'all', or 'cache <cmd>'",
     )
     parser.add_argument(
         "--scale",
@@ -42,9 +56,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write each experiment's rows as CSV into DIR",
     )
     parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment result as JSON into DIR",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="result-store directory; cached cells are reused and new "
+        "cells persisted (default: $REPRO_STORE when set, else off)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="ignore --store and $REPRO_STORE; always simulate",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every cell and overwrite store entries",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        metavar="N",
+        default=None,
+        help="cache verify: check N randomly sampled cells (default: all)",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        dest="prune_all",
+        help="cache prune: remove every entry, not just corrupt/stale ones",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
     return parser
+
+
+def resolve_store(args) -> ResultStore | None:
+    """The store this invocation should use, honouring ``--no-store``."""
+    if args.no_store:
+        return None
+    directory = args.store or os.environ.get("REPRO_STORE", "").strip() or None
+    return ResultStore(directory) if directory else None
+
+
+def run_cache_command(args) -> int:
+    """Dispatch ``dkip-experiments cache <stats|prune|verify>``."""
+    words = args.experiments[1:]
+    command = words[0] if words else "stats"
+    if command not in ("stats", "prune", "verify"):
+        print(
+            f"unknown cache command {command!r}; expected stats, prune or verify",
+            file=sys.stderr,
+        )
+        return 2
+    store = resolve_store(args)
+    if store is None:
+        print(
+            "no result store configured; pass --store DIR or set $REPRO_STORE",
+            file=sys.stderr,
+        )
+        return 2
+
+    if command == "stats":
+        summary = store.summary()
+        print(f"store root      {summary['root']}")
+        print(f"entries         {summary['entries']}")
+        print(f"corrupt         {summary['corrupt']}")
+        print(f"stale schema    {summary['stale_schema']}")
+        print(f"size            {summary['bytes']} bytes")
+        for kind, count in summary["machines"].items():
+            print(f"  machine {kind:<24s} {count}")
+        for name, count in summary["workloads"].items():
+            print(f"  workload {name:<23s} {count}")
+        return 0
+
+    if command == "prune":
+        removed = store.prune(everything=args.prune_all)
+        what = "entries" if args.prune_all else "corrupt/stale entries"
+        print(f"pruned {removed} {what} from {store.root}")
+        return 0
+
+    # Fresh sampling entropy per invocation: repeated --sample N runs
+    # cover different cells over time instead of re-checking one subset.
+    reports = store.verify(compute_cell, sample=args.sample, rng_seed=None)
+    stale = 0
+    for report in reports:
+        line = f"{report['status']:<6s} {report['cell']} [{report['digest'][:12]}]"
+        if report["status"] != "ok":
+            stale += 1
+            line += f"  {report.get('detail', '')}"
+        print(line)
+    print(f"verified {len(reports)} cell(s), {stale} stale/errored")
+    return 1 if stale else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,26 +163,42 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     names = list(args.experiments) or ["all"]
+    if names and names[0] == "cache":
+        return run_cache_command(args)
     if "all" in names:
         names = list(EXPERIMENTS)
     scale = Scale(args.scale)
-    failures = 0
+    store = resolve_store(args)
+    failed: list[str] = []
     for name in names:
         try:
             runner = get_experiment(name)
         except ValueError as error:
             print(error, file=sys.stderr)
             return 2
-        result = runner(scale)
+        try:
+            result = runner(scale, store=store, force=args.force)
+        except Exception as error:  # noqa: BLE001 - continue with the rest
+            print(f"experiment {name} failed: {error}", file=sys.stderr)
+            failed.append(name)
+            continue
         print(result.render())
         print()
         if args.csv:
             path = result.write_csv(args.csv)
             print(f"[csv written to {path}]")
             print()
+        if args.json:
+            path = result.write_json(args.json)
+            print(f"[json written to {path}]")
+            print()
         if not result.rows:
-            failures += 1
-    return 1 if failures else 0
+            failed.append(name)
+    if failed:
+        print(f"failed experiments: {', '.join(failed)}", file=sys.stderr)
+    # The exit status is a single byte; cap so e.g. 256 failures do not
+    # wrap around to a "successful" zero.
+    return min(len(failed), 255)
 
 
 if __name__ == "__main__":

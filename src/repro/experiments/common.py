@@ -1,6 +1,6 @@
 """Shared experiment machinery: scales, suite runners, result records.
 
-Two pieces keep the figure sweeps fast:
+Three pieces keep the figure sweeps fast:
 
 * :func:`run_suite` / :func:`run_many` fan simulations out over a process
   pool — one worker task per (machine config, workload) pair — sized by
@@ -10,6 +10,10 @@ Two pieces keep the figure sweeps fast:
 * :class:`WarmupCache` runs the functional cache warm-up once per
   (memory config, workload) and hands out snapshot-restored hierarchies,
   instead of re-streaming the working set for every swept parameter.
+* A :class:`repro.store.ResultStore` (the ``store=`` argument) is
+  consulted before any cell is dispatched and written back as each cell
+  completes, so repeated sweeps cost only the delta and an interrupted
+  sweep resumes from the cells already on disk.
 """
 
 from __future__ import annotations
@@ -17,15 +21,20 @@ from __future__ import annotations
 import csv
 import enum
 import functools
+import json
 import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.baselines.limit import simulate_limit
+from repro.branch import make_predictor
 from repro.memory import DEFAULT_MEMORY, MemoryConfig, MemoryHierarchy, warm_caches
+from repro.sim.config import LimitMachine
 from repro.sim.runner import MachineConfig, run_core, simulate
 from repro.sim.stats import SimStats
+from repro.store import CellKey, ResultStore, cell_key, from_jsonable
 from repro.viz.ascii import table
 from repro.workloads import get_workload, SPECFP_NAMES, SPECINT_NAMES
 
@@ -175,28 +184,90 @@ def _run_pair(task) -> SimStats:
     return stats
 
 
-def _make_tasks(
+def _run_indexed(task) -> tuple[int, SimStats]:
+    """Pool worker: :func:`_run_pair` tagged with the cell's grid index,
+    so completions can be written back to the store as they arrive."""
+    index, pair = task
+    return index, _run_pair(pair)
+
+
+def _make_task(
     config: MachineConfig,
-    names: Sequence[str],
+    name: str,
     num_instructions: int,
     pool: WorkloadPool,
     memory: MemoryConfig,
     warm_cache: WarmupCache | None,
-) -> list[tuple]:
-    """Build pool-worker task tuples, warming shared snapshots up front."""
-    return [
+) -> tuple:
+    """One pool-worker task tuple, warming the shared snapshot up front."""
+    return (
+        config,
+        name,
+        num_instructions,
+        memory,
+        pool.seed,
+        None if warm_cache is None else warm_cache.snapshot_for(memory, pool.get(name)),
+    )
+
+
+def _run_grid(
+    grid: Sequence[tuple[MachineConfig, str]],
+    num_instructions: int,
+    pool: WorkloadPool,
+    memory: MemoryConfig,
+    jobs: int | None,
+    warm_cache: WarmupCache | None,
+    store: ResultStore | None,
+    force: bool,
+) -> list[SimStats]:
+    """Run every (config, benchmark) cell, store-first, in grid order.
+
+    Cached cells never dispatch; missing cells run serially or on the
+    pool and persist to *store* as each one completes — that per-cell
+    write-back is what makes a killed sweep resumable.
+    """
+    results: list[SimStats | None] = [None] * len(grid)
+    keys: list[CellKey | None] = [None] * len(grid)
+    if store is not None:
+        for i, (config, name) in enumerate(grid):
+            keys[i] = cell_key(config, pool.get(name), num_instructions, memory)
+            if not force:
+                results[i] = store.get(keys[i])
+    pending = [i for i, cached in enumerate(results) if cached is None]
+    if not pending:
+        return results
+    jobs = resolve_jobs(jobs, len(pending))
+    if jobs <= 1:
+        for i in pending:
+            config, name = grid[i]
+            stats = run_core(
+                config,
+                pool.get(name),
+                num_instructions,
+                memory=memory,
+                warm_cache=warm_cache,
+            )
+            if store is not None:
+                store.put(keys[i], stats)
+            results[i] = stats
+        return results
+    # Parallel path: warm once in the parent and ship snapshots to the
+    # workers so the warm-up hoisting survives the fan-out.
+    tasks = [
         (
-            config,
-            name,
-            num_instructions,
-            memory,
-            pool.seed,
-            None
-            if warm_cache is None
-            else warm_cache.snapshot_for(memory, pool.get(name)),
+            i,
+            _make_task(
+                grid[i][0], grid[i][1], num_instructions, pool, memory, warm_cache
+            ),
         )
-        for name in names
+        for i in pending
     ]
+    with multiprocessing.Pool(processes=jobs) as workers:
+        for i, stats in workers.imap_unordered(_run_indexed, tasks):
+            if store is not None:
+                store.put(keys[i], stats)
+            results[i] = stats
+    return results
 
 
 def run_suite(
@@ -207,26 +278,15 @@ def run_suite(
     memory: MemoryConfig = DEFAULT_MEMORY,
     jobs: int | None = None,
     warm_cache: WarmupCache | None = None,
+    store: ResultStore | None = None,
+    force: bool = False,
 ) -> list[SimStats]:
     """Simulate every named benchmark on *config*; returns per-run stats
     in the order of *names* regardless of worker scheduling."""
-    jobs = resolve_jobs(jobs, len(names))
-    if jobs <= 1:
-        return [
-            run_core(
-                config,
-                pool.get(name),
-                num_instructions,
-                memory=memory,
-                warm_cache=warm_cache,
-            )
-            for name in names
-        ]
-    # Parallel path: warm once in the parent and ship snapshots to the
-    # workers so the warm-up hoisting survives the fan-out.
-    tasks = _make_tasks(config, names, num_instructions, pool, memory, warm_cache)
-    with multiprocessing.Pool(processes=jobs) as workers:
-        return workers.map(_run_pair, tasks)
+    grid = [(config, name) for name in names]
+    return _run_grid(
+        grid, num_instructions, pool, memory, jobs, warm_cache, store, force
+    )
 
 
 def run_many(
@@ -237,6 +297,8 @@ def run_many(
     memory: MemoryConfig = DEFAULT_MEMORY,
     jobs: int | None = None,
     warm_cache: WarmupCache | None = None,
+    store: ResultStore | None = None,
+    force: bool = False,
 ) -> list[list[SimStats]]:
     """Fan the full (config x workload) grid out over one process pool.
 
@@ -244,31 +306,129 @@ def run_many(
     the same shape as calling :func:`run_suite` once per config, but with
     every pair in flight at once.
     """
-    jobs = resolve_jobs(jobs, len(configs) * len(names))
-    if jobs <= 1:
-        return [
-            run_suite(
-                config,
-                names,
-                num_instructions,
-                pool,
-                memory=memory,
-                jobs=1,
-                warm_cache=warm_cache,
-            )
-            for config in configs
-        ]
-    tasks = [
-        task
-        for config in configs
-        for task in _make_tasks(
-            config, names, num_instructions, pool, memory, warm_cache
-        )
-    ]
-    with multiprocessing.Pool(processes=jobs) as workers:
-        results = workers.map(_run_pair, tasks)
+    grid = [(config, name) for config in configs for name in names]
+    flat = _run_grid(
+        grid, num_instructions, pool, memory, jobs, warm_cache, store, force
+    )
     stride = len(names)
-    return [results[i * stride : (i + 1) * stride] for i in range(len(configs))]
+    return [flat[i * stride : (i + 1) * stride] for i in range(len(configs))]
+
+
+def _cached_cell(store, force, key, compute) -> SimStats:
+    """The store-first pattern every single-cell runner shares: consult
+    *store* under *key* unless forced, else *compute* and write back."""
+    if store is None:
+        return compute()
+    if not force:
+        cached = store.get(key)
+        if cached is not None:
+            return cached
+    stats = compute()
+    store.put(key, stats)
+    return stats
+
+
+def run_core_cached(
+    config: MachineConfig,
+    workload,
+    num_instructions: int,
+    memory: MemoryConfig = DEFAULT_MEMORY,
+    predictor_name: str | None = None,
+    warm_cache: WarmupCache | None = None,
+    store: ResultStore | None = None,
+    force: bool = False,
+) -> SimStats:
+    """Store-aware :func:`repro.sim.runner.run_core` for single cells."""
+    key = None
+    if store is not None:
+        key = cell_key(
+            config, workload, num_instructions, memory, predictor=predictor_name
+        )
+    return _cached_cell(
+        store,
+        force,
+        key,
+        lambda: run_core(
+            config,
+            workload,
+            num_instructions,
+            memory=memory,
+            predictor_name=predictor_name,
+            warm_cache=warm_cache,
+        ),
+    )
+
+
+def run_limit_cell(
+    machine: LimitMachine,
+    workload,
+    num_instructions: int,
+    memory: MemoryConfig = DEFAULT_MEMORY,
+    snapshot_factory=None,
+    store: ResultStore | None = None,
+    force: bool = False,
+) -> SimStats:
+    """One idealized-core cell (Figures 1-3), store-aware.
+
+    *snapshot_factory*, when given, supplies a warmed-hierarchy snapshot
+    (typically shared across a window sweep); it is only invoked on a
+    store miss, so fully cached benchmarks skip warm-up entirely.
+    """
+    def compute() -> SimStats:
+        trace = workload.trace(num_instructions)
+        hierarchy = MemoryHierarchy(memory)
+        if snapshot_factory is not None:
+            hierarchy.restore(snapshot_factory())
+        else:
+            warm_caches(hierarchy, workload.regions)
+        sim = simulate_limit(
+            iter(trace),
+            hierarchy,
+            rob_size=machine.rob_size,
+            predictor=make_predictor(machine.predictor),
+            width=machine.width,
+            redirect_penalty=machine.redirect_penalty,
+            record_histogram=machine.record_histogram,
+        )
+        stats = sim.stats
+        stats.workload = workload.name
+        stats.config = machine.name
+        return stats
+
+    key = None
+    if store is not None:
+        key = cell_key(machine, workload, num_instructions, memory)
+    return _cached_cell(store, force, key, compute)
+
+
+def compute_cell(payload: dict) -> SimStats:
+    """Re-run one cell from its stored key payload (``cache verify``).
+
+    Rebuilds the machine and memory configurations from their serialized
+    form, re-materializes the workload, and replays the exact execution
+    path the sweeps use, so the result must match the stored stats bit
+    for bit unless simulator behaviour drifted under the fingerprint.
+    """
+    machine = from_jsonable(payload["machine"])
+    memory = from_jsonable(payload["memory"])
+    spec = payload["workload"]
+    workload = get_workload(spec["name"], seed=spec["seed"])
+    if workload.fingerprint() != spec["fingerprint"]:
+        raise ValueError(
+            f"workload {spec['name']!r} fingerprint changed since this "
+            "cell was stored (trace generator updated?)"
+        )
+    num_instructions = payload["instructions"]
+    if isinstance(machine, LimitMachine):
+        return run_limit_cell(machine, workload, num_instructions, memory)
+    stats = run_core(
+        machine,
+        workload,
+        num_instructions,
+        memory=memory,
+        predictor_name=payload.get("predictor"),
+    )
+    return stats
 
 
 def mean_ipc(stats: Sequence[SimStats]) -> float:
@@ -309,6 +469,41 @@ class ExperimentResult:
             writer = csv.writer(handle)
             writer.writerow(self.headers)
             writer.writerows(self.rows)
+        return path
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering; :meth:`from_dict` round-trips it."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+            "charts": list(self.charts),
+            "elapsed_seconds": self.elapsed_seconds,
+            "scale": self.scale.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        return cls(
+            name=data["name"],
+            title=data["title"],
+            headers=list(data["headers"]),
+            rows=[list(row) for row in data["rows"]],
+            notes=list(data.get("notes", [])),
+            charts=list(data.get("charts", [])),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            scale=Scale(data.get("scale", Scale.DEFAULT.value)),
+        )
+
+    def write_json(self, directory: str) -> str:
+        """Machine-readable export alongside :meth:`write_csv`."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
         return path
 
 

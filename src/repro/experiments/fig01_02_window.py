@@ -13,18 +13,18 @@ miss-dependent mispredictions stay on the critical path).
 
 from __future__ import annotations
 
-from repro.baselines.limit import simulate_limit
-from repro.branch import make_predictor
 from repro.experiments.common import (
     ExperimentResult,
     INSTRUCTIONS,
     Scale,
     Stopwatch,
     WorkloadPool,
+    run_limit_cell,
     scale_of,
     suite_names,
 )
 from repro.memory import MemoryHierarchy, TABLE1_CONFIGS, warm_caches
+from repro.sim.config import LimitMachine
 from repro.viz.ascii import line_chart
 
 #: ROB sizes on the paper's x axis.
@@ -32,7 +32,9 @@ FULL_WINDOWS = (32, 48, 64, 128, 256, 512, 1024, 2048, 4096)
 QUICK_WINDOWS = (32, 128, 1024, 4096)
 
 
-def run(scale: Scale | str = Scale.DEFAULT, suite: str = "fp") -> ExperimentResult:
+def run(
+    scale: Scale | str = Scale.DEFAULT, suite: str = "fp", store=None, force=False
+) -> ExperimentResult:
     """Regenerate Figure 1 (suite="int") or Figure 2 (suite="fp")."""
     scale = scale_of(scale)
     windows = QUICK_WINDOWS if scale == Scale.QUICK else FULL_WINDOWS
@@ -62,21 +64,31 @@ def run(scale: Scale | str = Scale.DEFAULT, suite: str = "fp") -> ExperimentResu
             ipcs_by_window: dict[int, list[float]] = {w: [] for w in windows}
             for bench in names:
                 workload = pool.get(bench)
-                trace = workload.trace(n)
-                warmed = MemoryHierarchy(mem_config)
-                warm_caches(warmed, workload.regions)
-                snapshot = warmed.snapshot()
+                # The warmed snapshot is shared by every window and built
+                # lazily: a benchmark whose cells all hit the store never
+                # streams its working set at all.
+                snapshot = None
+
+                def snapshot_factory():
+                    nonlocal snapshot
+                    if snapshot is None:
+                        warmed = MemoryHierarchy(mem_config)
+                        warm_caches(warmed, workload.regions)
+                        snapshot = warmed.snapshot()
+                    return snapshot
+
                 for window in windows:
-                    hierarchy = MemoryHierarchy(mem_config)
-                    hierarchy.restore(snapshot)
-                    sim = simulate_limit(
-                        iter(trace),
-                        hierarchy,
-                        rob_size=window,
-                        predictor=make_predictor("perceptron"),
-                        record_histogram=False,
+                    machine = LimitMachine(rob_size=window, record_histogram=False)
+                    stats = run_limit_cell(
+                        machine,
+                        workload,
+                        n,
+                        memory=mem_config,
+                        snapshot_factory=snapshot_factory,
+                        store=store,
+                        force=force,
                     )
-                    ipcs_by_window[window].append(sim.ipc)
+                    ipcs_by_window[window].append(stats.ipc)
             row: list[object] = [mem_name]
             for window in windows:
                 ipcs = ipcs_by_window[window]

@@ -12,23 +12,25 @@ Paper numbers: ~70% below 300 cycles, 11-12% around 400, ~4% around 800.
 
 from __future__ import annotations
 
-from repro.baselines.limit import simulate_limit
-from repro.branch import make_predictor
 from repro.experiments.common import (
     ExperimentResult,
     INSTRUCTIONS,
     Scale,
     Stopwatch,
     WorkloadPool,
+    run_limit_cell,
     scale_of,
     suite_names,
 )
-from repro.memory import DEFAULT_MEMORY, MemoryHierarchy, warm_caches
+from repro.memory import DEFAULT_MEMORY
+from repro.sim.config import LimitMachine
 from repro.sim.stats import Histogram
 from repro.viz.ascii import histogram_chart
 
 
-def run(scale: Scale | str = Scale.DEFAULT, suite: str = "fp") -> ExperimentResult:
+def run(
+    scale: Scale | str = Scale.DEFAULT, suite: str = "fp", store=None, force=False
+) -> ExperimentResult:
     scale = scale_of(scale)
     n = INSTRUCTIONS[scale]
     names = suite_names(suite, scale)
@@ -42,18 +44,13 @@ def run(scale: Scale | str = Scale.DEFAULT, suite: str = "fp") -> ExperimentResu
     )
     aggregate = Histogram(bin_width=25, max_value=4000)
     with Stopwatch(result):
+        machine = LimitMachine(rob_size=None, record_histogram=True)
         for bench in names:
             workload = pool.get(bench)
-            trace = workload.trace(n)
-            hierarchy = MemoryHierarchy(DEFAULT_MEMORY)
-            warm_caches(hierarchy, workload.regions)
-            sim = simulate_limit(
-                iter(trace),
-                hierarchy,
-                rob_size=None,
-                predictor=make_predictor("perceptron"),
+            stats = run_limit_cell(
+                machine, workload, n, memory=DEFAULT_MEMORY, store=store, force=force
             )
-            for start, count in sim.issue_distance.bins():
+            for start, count in stats.issue_distance.bins():
                 aggregate.add(start, count)
     below_300 = aggregate.fraction_below(300)
     single_miss = aggregate.fraction_in(300, 500)

@@ -43,7 +43,9 @@ PAPER_IPC = {
 }
 
 
-def run(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
+def run(
+    scale: Scale | str = Scale.DEFAULT, store=None, force=False
+) -> ExperimentResult:
     scale = scale_of(scale)
     n = INSTRUCTIONS[scale]
     pool = WorkloadPool()
@@ -61,7 +63,7 @@ def run(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
             chart_data = {}
             # One pool task per (machine, workload) pair: all four machines'
             # suites are in flight at once instead of looping serially.
-            suite_stats = run_many(MACHINES, names, n, pool)
+            suite_stats = run_many(MACHINES, names, n, pool, store=store, force=force)
             for machine, stats in zip(MACHINES, suite_stats):
                 ipc = mean_ipc(stats)
                 if base is None:

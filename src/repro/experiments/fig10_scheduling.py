@@ -33,7 +33,9 @@ MP_CONFIGS_FULL = ("INO", "OOO-20", "OOO-40")
 MP_CONFIGS_QUICK = ("INO", "OOO-40")
 
 
-def run(scale: Scale | str = Scale.DEFAULT, suite: str = "fp") -> ExperimentResult:
+def run(
+    scale: Scale | str = Scale.DEFAULT, suite: str = "fp", store=None, force=False
+) -> ExperimentResult:
     scale = scale_of(scale)
     n = INSTRUCTIONS[scale]
     cp_configs = CP_CONFIGS_QUICK if scale == Scale.QUICK else CP_CONFIGS_FULL
@@ -53,7 +55,9 @@ def run(scale: Scale | str = Scale.DEFAULT, suite: str = "fp") -> ExperimentResu
             row: list[object] = [cp]
             for mp in mp_configs:
                 config = DKIP_2048.with_cp(cp).with_mp(mp)
-                ipc = mean_ipc(run_suite(config, names, n, pool))
+                ipc = mean_ipc(
+                    run_suite(config, names, n, pool, store=store, force=force)
+                )
                 grid[(cp, mp)] = ipc
                 row.append(round(ipc, 3))
                 x = 0 if cp == "INO" else int(cp.split("-")[1])

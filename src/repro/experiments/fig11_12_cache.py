@@ -45,7 +45,9 @@ def _machines(scale: Scale):
     return machines
 
 
-def run(scale: Scale | str = Scale.DEFAULT, suite: str = "fp") -> ExperimentResult:
+def run(
+    scale: Scale | str = Scale.DEFAULT, suite: str = "fp", store=None, force=False
+) -> ExperimentResult:
     scale = scale_of(scale)
     n = INSTRUCTIONS[scale]
     if scale == Scale.QUICK:
@@ -75,7 +77,8 @@ def run(scale: Scale | str = Scale.DEFAULT, suite: str = "fp") -> ExperimentResu
             for size in sizes:
                 memory = memory_config_for_l2_size(size)
                 stats = run_suite(
-                    machine, names, n, pool, memory=memory, warm_cache=warm_cache
+                    machine, names, n, pool, memory=memory, warm_cache=warm_cache,
+                    store=store, force=force,
                 )
                 ipc = mean_ipc(stats)
                 fractions = [s.cp_fraction for s in stats if s.committed_mp or s.committed_cp]

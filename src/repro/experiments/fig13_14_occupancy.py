@@ -19,15 +19,17 @@ from repro.experiments.common import (
     Scale,
     Stopwatch,
     WorkloadPool,
+    run_core_cached,
     scale_of,
     suite_names,
 )
 from repro.sim.config import DKIP_2048
-from repro.sim.runner import run_core
 from repro.viz.ascii import bar_chart
 
 
-def run(scale: Scale | str = Scale.DEFAULT, suite: str = "int") -> ExperimentResult:
+def run(
+    scale: Scale | str = Scale.DEFAULT, suite: str = "int", store=None, force=False
+) -> ExperimentResult:
     scale = scale_of(scale)
     n = INSTRUCTIONS[scale]
     names = suite_names(suite, scale)
@@ -44,7 +46,9 @@ def run(scale: Scale | str = Scale.DEFAULT, suite: str = "int") -> ExperimentRes
     instr_chart: dict[str, float] = {}
     with Stopwatch(result):
         for bench in names:
-            stats = run_core(DKIP_2048, pool.get(bench), n)
+            stats = run_core_cached(
+                DKIP_2048, pool.get(bench), n, store=store, force=force
+            )
             if suite == "int":
                 max_instr = stats.llib_max_instructions_int
                 max_regs = stats.llib_max_registers_int

@@ -16,19 +16,20 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentResult, Scale
 
-#: name -> zero-config callable(scale) regenerating that table/figure.
+#: name -> callable(scale, store=..., force=...) regenerating that
+#: table/figure; extra keyword arguments pass through to the harness.
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table1": table1.run,
-    "fig1": lambda scale=Scale.DEFAULT: fig01_02_window.run(scale, suite="int"),
-    "fig2": lambda scale=Scale.DEFAULT: fig01_02_window.run(scale, suite="fp"),
+    "fig1": lambda scale=Scale.DEFAULT, **kw: fig01_02_window.run(scale, suite="int", **kw),
+    "fig2": lambda scale=Scale.DEFAULT, **kw: fig01_02_window.run(scale, suite="fp", **kw),
     "fig3": fig03_locality.run,
     "fig9": fig09_comparison.run,
-    "fig10": lambda scale=Scale.DEFAULT: fig10_scheduling.run(scale, suite="fp"),
-    "fig10int": lambda scale=Scale.DEFAULT: fig10_scheduling.run(scale, suite="int"),
-    "fig11": lambda scale=Scale.DEFAULT: fig11_12_cache.run(scale, suite="int"),
-    "fig12": lambda scale=Scale.DEFAULT: fig11_12_cache.run(scale, suite="fp"),
-    "fig13": lambda scale=Scale.DEFAULT: fig13_14_occupancy.run(scale, suite="int"),
-    "fig14": lambda scale=Scale.DEFAULT: fig13_14_occupancy.run(scale, suite="fp"),
+    "fig10": lambda scale=Scale.DEFAULT, **kw: fig10_scheduling.run(scale, suite="fp", **kw),
+    "fig10int": lambda scale=Scale.DEFAULT, **kw: fig10_scheduling.run(scale, suite="int", **kw),
+    "fig11": lambda scale=Scale.DEFAULT, **kw: fig11_12_cache.run(scale, suite="int", **kw),
+    "fig12": lambda scale=Scale.DEFAULT, **kw: fig11_12_cache.run(scale, suite="fp", **kw),
+    "fig13": lambda scale=Scale.DEFAULT, **kw: fig13_14_occupancy.run(scale, suite="int", **kw),
+    "fig14": lambda scale=Scale.DEFAULT, **kw: fig13_14_occupancy.run(scale, suite="fp", **kw),
     # Ablations (not paper figures; design-choice studies from DESIGN.md).
     "ablation-timer": ablations.run_timer,
     "ablation-llib": ablations.run_llib_size,

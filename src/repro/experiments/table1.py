@@ -11,7 +11,12 @@ from repro.experiments.common import ExperimentResult, Scale, Stopwatch, scale_o
 from repro.memory import MemoryHierarchy, TABLE1_CONFIGS
 
 
-def run(scale: Scale | str = Scale.DEFAULT) -> ExperimentResult:
+def run(
+    scale: Scale | str = Scale.DEFAULT, store=None, force=False
+) -> ExperimentResult:
+    # No simulation cells here — the store arguments exist so every
+    # registry entry shares one call signature.
+    del store, force
     scale = scale_of(scale)
     result = ExperimentResult(
         name="table1",

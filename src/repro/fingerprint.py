@@ -1,0 +1,72 @@
+"""Deterministic content fingerprints for configurations and results.
+
+The result store (:mod:`repro.store`) addresses every simulation cell by
+a digest of *what produced it*: machine configuration, memory
+configuration, workload identity, instruction budget and stats-schema
+version.  Python's builtin ``hash`` is salted per process, so the digest
+here is built from a canonical JSON rendering hashed with SHA-256 —
+stable across processes, interpreter versions and machines.
+
+This module deliberately imports nothing from the rest of the package so
+that any layer (sim, memory, workloads, store) can use it without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+#: Bump when the canonicalization rules themselves change incompatibly.
+CANON_VERSION = 1
+
+
+def canonical(obj: Any) -> Any:
+    """Recursively convert *obj* into a canonical JSON-compatible value.
+
+    Handles dataclasses (tagged with their class name so two config types
+    with identical fields never collide), enums, mappings and sequences.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: dict[str, Any] = {"__kind__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            out[field.name] = canonical(getattr(obj, field.name))
+        return out
+    if isinstance(obj, enum.Enum):
+        return canonical(obj.value)
+    if isinstance(obj, dict):
+        return {str(key): canonical(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    if isinstance(obj, float):
+        # repr() round-trips floats exactly; integral floats normalize so
+        # 4.0 and 4 fingerprint identically regardless of the source type.
+        return int(obj) if obj.is_integer() else obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__!r} for fingerprinting")
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON text: sorted keys, no whitespace, UTF-8-safe."""
+    return json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
+def digest(obj: Any) -> str:
+    """Hex SHA-256 of the canonical JSON rendering of *obj*."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+class Fingerprintable:
+    """Mixin giving (frozen dataclass) configurations a content digest.
+
+    Two instances fingerprint identically iff every field — including
+    nested dataclasses and enums — is equal; the class name is mixed in,
+    so structurally identical configs of different types stay distinct.
+    """
+
+    def fingerprint(self) -> str:
+        return digest(self)

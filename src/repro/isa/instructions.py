@@ -9,7 +9,7 @@ all per-core state lives in the cores' own in-flight records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.opcodes import OpClass, is_branch_op, is_load_op, is_mem_op, is_store_op
 from repro.isa.registers import (

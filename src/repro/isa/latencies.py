@@ -8,7 +8,7 @@ functional-unit mix (Table 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.opcodes import OpClass
 

@@ -22,12 +22,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.fingerprint import Fingerprintable
+
 KB = 1024
 MB = 1024 * KB
 
 
 @dataclass(frozen=True)
-class MemoryConfig:
+class MemoryConfig(Fingerprintable):
     """Parameters of one memory hierarchy.
 
     ``None`` sizes mean *infinite*; a ``None`` ``l2_latency`` removes the L2

@@ -8,6 +8,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 
+from repro.fingerprint import Fingerprintable
+
 
 class SchedulerPolicy(str, enum.Enum):
     """Issue-queue scheduling discipline (Figure 10's INO/OOO axis)."""
@@ -17,7 +19,7 @@ class SchedulerPolicy(str, enum.Enum):
 
 
 @dataclass(frozen=True)
-class FuConfig:
+class FuConfig(Fingerprintable):
     """Functional-unit counts (Table 2)."""
 
     int_alu: int = 4
@@ -28,7 +30,7 @@ class FuConfig:
 
 
 @dataclass(frozen=True)
-class CoreConfig:
+class CoreConfig(Fingerprintable):
     """Parameters of one R10000-style out-of-order core.
 
     Also used for the D-KIP's Cache Processor (with ``rob_size`` acting as
@@ -62,7 +64,7 @@ class CoreConfig:
 
 
 @dataclass(frozen=True)
-class KiloConfig:
+class KiloConfig(Fingerprintable):
     """The KILO-1024 comparator: pseudo-ROB + Slow Lane Instruction Queue.
 
     Models reference [9] of the paper (Cristal et al., "Out-of-order commit
@@ -92,7 +94,7 @@ class KiloConfig:
 
 
 @dataclass(frozen=True)
-class MemoryProcessorConfig:
+class MemoryProcessorConfig(Fingerprintable):
     """One Memory Processor (Future File architecture, Table 2)."""
 
     decode_width: int = 4
@@ -102,7 +104,7 @@ class MemoryProcessorConfig:
 
 
 @dataclass(frozen=True)
-class DkipConfig:
+class DkipConfig(Fingerprintable):
     """The full Decoupled KILO-Instruction Processor (Tables 2 and 3).
 
     Defaults reproduce the paper's baseline D-KIP-2048: an out-of-order
@@ -151,7 +153,7 @@ def _parse_queue_config(spec: str) -> tuple[SchedulerPolicy, int]:
 
 
 @dataclass(frozen=True)
-class RunaheadConfig:
+class RunaheadConfig(Fingerprintable):
     """Runahead-execution comparator (Mutlu et al. — reference [24]).
 
     Not a paper figure: used by the ablation harness to quantify how much
@@ -161,6 +163,28 @@ class RunaheadConfig:
     name: str = "runahead-64"
     core: CoreConfig = field(default_factory=lambda: CoreConfig(name="runahead-fe"))
     exit_penalty: int = 8
+
+
+@dataclass(frozen=True)
+class LimitMachine(Fingerprintable):
+    """Descriptor of one idealized ROB-only run (Figures 1-3).
+
+    :func:`repro.baselines.limit.simulate_limit` takes loose arguments
+    rather than a config object; this dataclass captures them so limit
+    cells fingerprint and replay through the result store exactly like
+    the cycle-level machines.
+    """
+
+    rob_size: int | None = None
+    predictor: str = "perceptron"
+    width: int = 4
+    redirect_penalty: int = 5
+    record_histogram: bool = True
+
+    @property
+    def name(self) -> str:
+        rob = "inf" if self.rob_size is None else self.rob_size
+        return f"limit-rob-{rob}"
 
 
 # ----------------------------------------------------------------------

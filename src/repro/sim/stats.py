@@ -10,7 +10,13 @@ distribution (Figure 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
+
+#: Version of the serialized-stats schema below.  Part of every result
+#: store fingerprint: bumping it (whenever fields are added, removed or
+#: change meaning) invalidates all cached cells at once instead of
+#: silently returning records the new code misreads.
+STATS_SCHEMA_VERSION = 1
 
 
 class Histogram:
@@ -62,6 +68,36 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.bin_width == other.bin_width
+            and self.max_value == other.max_value
+            and self.count == other.count
+            and self.total == other.total
+            and self._bins == other._bins
+        )
+
+    def to_dict(self) -> dict:
+        """Exact JSON-serializable rendering (lossless round trip)."""
+        return {
+            "bin_width": self.bin_width,
+            "max_value": self.max_value,
+            # Lists, not tuples, so equality survives a JSON round trip.
+            "bins": [[index, count] for index, count in sorted(self._bins.items())],
+            "count": self.count,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        histogram = cls(bin_width=data["bin_width"], max_value=data["max_value"])
+        histogram._bins = {int(index): count for index, count in data["bins"]}
+        histogram.count = data["count"]
+        histogram.total = data["total"]
+        return histogram
 
 
 @dataclass
@@ -150,6 +186,42 @@ class SimStats:
             "checkpoint_recoveries": self.checkpoint_recoveries,
         }
         return out
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-serializable rendering of every field.
+
+        Unlike :meth:`as_dict` (a rounded flat view for CSV emission),
+        this is the result-store format: :meth:`from_dict` reconstructs a
+        record that compares equal to the original, histogram included.
+        """
+        out = {"schema": STATS_SCHEMA_VERSION}
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if field.name == "issue_distance":
+                value = value.to_dict() if value is not None else None
+            out[field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Rebuild a record written by :meth:`to_dict`.
+
+        Raises ``KeyError``/``ValueError`` on schema mismatch or missing
+        fields — callers (the result store) treat that as a cache miss.
+        """
+        schema = data.get("schema")
+        if schema != STATS_SCHEMA_VERSION:
+            raise ValueError(
+                f"stats schema mismatch: stored {schema!r}, "
+                f"current {STATS_SCHEMA_VERSION!r}"
+            )
+        kwargs = {}
+        for field in fields(cls):
+            value = data[field.name]
+            if field.name == "issue_distance" and value is not None:
+                value = Histogram.from_dict(value)
+            kwargs[field.name] = value
+        return cls(**kwargs)
 
 
 def arithmetic_mean_ipc(stats: list[SimStats]) -> float:

@@ -1,0 +1,21 @@
+"""Content-addressed result store for simulation sweeps.
+
+Every (machine config, memory config, workload+seed, instruction budget,
+stats-schema version) cell fingerprints to a stable digest
+(:mod:`repro.fingerprint`); the store keeps one JSON object per digest
+under ``<root>/objects/<d[:2]>/<digest>.json``.  Sweeps consult the store
+before simulating and write each cell back as it completes, so an
+interrupted sweep resumes where it stopped and a re-run with one changed
+parameter recomputes only the changed cells.
+"""
+
+from repro.store.serialize import from_jsonable, to_jsonable
+from repro.store.store import CellKey, ResultStore, cell_key
+
+__all__ = [
+    "CellKey",
+    "ResultStore",
+    "cell_key",
+    "from_jsonable",
+    "to_jsonable",
+]

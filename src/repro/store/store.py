@@ -1,0 +1,279 @@
+"""The on-disk content-addressed store itself.
+
+Layout::
+
+    <root>/objects/<digest[:2]>/<digest>.json
+
+One JSON object per cell::
+
+    {"format": 1, "digest": ..., "key": {<full key payload>}, "stats": {...}}
+
+Writes are atomic (temp file + ``os.replace``) so a sweep killed
+mid-write never leaves a half-entry behind; reads treat *any* defect —
+truncated JSON, digest mismatch, schema drift — as a miss and recompute
+rather than crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.fingerprint import CANON_VERSION, canonical, digest
+from repro.sim.stats import STATS_SCHEMA_VERSION, SimStats
+
+#: On-disk entry envelope version (distinct from the stats schema).
+ENTRY_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """Full description of one simulation cell plus its content digest."""
+
+    payload: dict = field(hash=False)
+    digest: str = ""
+
+    def __hash__(self) -> int:  # payload is a dict; the digest covers it
+        return hash(self.digest)
+
+
+def cell_key(
+    machine: Any,
+    workload: Any,
+    num_instructions: int,
+    memory: Any,
+    *,
+    predictor: str | None = None,
+    warmup_passes: int = 1,
+) -> CellKey:
+    """Build the key of one (machine, workload, scale) cell.
+
+    *machine* and *memory* are config dataclasses (serialized in full so
+    the cell can be re-run from the stored key); *workload* is a
+    :class:`repro.workloads.Workload` instance.  The stats-schema version
+    is folded in so a schema bump invalidates every cached cell at once.
+    """
+    payload = {
+        "canon": CANON_VERSION,
+        "schema": STATS_SCHEMA_VERSION,
+        "machine": canonical(machine),
+        "memory": canonical(memory),
+        "workload": {
+            "name": workload.name,
+            "seed": workload.seed,
+            "fingerprint": workload.fingerprint(),
+        },
+        "instructions": num_instructions,
+        "predictor": predictor,
+        "warmup_passes": warmup_passes,
+    }
+    return CellKey(payload=payload, digest=digest(payload))
+
+
+class ResultStore:
+    """Content-addressed store of :class:`SimStats`, one file per cell."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Core get/put
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: CellKey) -> Path:
+        return self.root / "objects" / key.digest[:2] / f"{key.digest}.json"
+
+    def contains(self, key: CellKey) -> bool:
+        return self.path_for(key).exists()
+
+    def get(self, key: CellKey) -> SimStats | None:
+        """The stored stats for *key*, or ``None`` (miss) if absent,
+        unreadable, tampered with, or written under a different schema."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry["format"] != ENTRY_FORMAT or entry["digest"] != key.digest:
+                raise ValueError("entry/key mismatch")
+            # The key digest covers inputs only; the stats body carries
+            # its own content hash so in-place corruption that is still
+            # valid JSON reads as a miss, not a hit.
+            if entry["stats_digest"] != digest(entry["stats"]):
+                raise ValueError("stats digest mismatch")
+            stats = SimStats.from_dict(entry["stats"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Truncated/corrupt/stale entries recompute instead of crash.
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: CellKey, stats: SimStats) -> Path:
+        """Atomically persist *stats* under *key* (overwrites)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stats_dict = stats.to_dict()
+        entry = {
+            "format": ENTRY_FORMAT,
+            "digest": key.digest,
+            "key": key.payload,
+            "stats": stats_dict,
+            "stats_digest": digest(stats_dict),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance: stats / prune / verify
+    # ------------------------------------------------------------------
+
+    def iter_entries(self) -> Iterator[tuple[Path, dict | None]]:
+        """Every ``(path, entry)`` in the store; ``None`` entry = corrupt."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for path in sorted(objects.glob("*/*.json")):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                # Same envelope validation as get(): anything a lookup
+                # would reject, maintenance treats as corrupt too.
+                if entry["format"] != ENTRY_FORMAT or entry["digest"] != path.stem:
+                    raise ValueError("envelope mismatch")
+                if not isinstance(entry["key"], dict):
+                    raise ValueError("incomplete entry")
+                if entry["stats_digest"] != digest(entry["stats"]):
+                    raise ValueError("stats digest mismatch")
+            except (OSError, ValueError, KeyError, TypeError):
+                yield path, None
+                continue
+            yield path, entry
+
+    def summary(self) -> dict:
+        """Aggregate statistics for ``dkip-experiments cache stats``."""
+        entries = 0
+        corrupt = 0
+        stale = 0
+        total_bytes = 0
+        machines: dict[str, int] = {}
+        workloads: dict[str, int] = {}
+        for path, entry in self.iter_entries():
+            total_bytes += path.stat().st_size
+            if entry is None:
+                corrupt += 1
+                continue
+            entries += 1
+            key = entry.get("key", {})
+            if key.get("schema") != STATS_SCHEMA_VERSION:
+                stale += 1
+            kind = key.get("machine", {}).get("__kind__", "?")
+            machines[kind] = machines.get(kind, 0) + 1
+            name = key.get("workload", {}).get("name", "?")
+            workloads[name] = workloads.get(name, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "corrupt": corrupt,
+            "stale_schema": stale,
+            "bytes": total_bytes,
+            "machines": dict(sorted(machines.items())),
+            "workloads": dict(sorted(workloads.items())),
+        }
+
+    def prune(self, everything: bool = False) -> int:
+        """Delete corrupt and schema-stale entries (all of them when
+        *everything*); returns the number of files removed.  Also sweeps
+        temp files orphaned by writes that were killed mid-flight."""
+        removed = 0
+        for path, entry in self.iter_entries():
+            stale = (
+                entry is None
+                or entry.get("key", {}).get("schema") != STATS_SCHEMA_VERSION
+            )
+            if everything or stale:
+                path.unlink(missing_ok=True)
+                removed += 1
+        objects = self.root / "objects"
+        if objects.is_dir():
+            for orphan in objects.glob("*/*.tmp.*"):
+                orphan.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def verify(
+        self,
+        compute: Callable[[dict], SimStats],
+        sample: int | None = None,
+        rng_seed: int | None = 0,
+    ) -> list[dict]:
+        """Re-run stored cells and diff against their cached stats.
+
+        *compute* maps a key payload back to a freshly simulated
+        :class:`SimStats` (see ``repro.experiments.common.compute_cell``).
+        A mismatch means the cache is stale relative to the current code —
+        i.e. something changed behaviour without changing a fingerprint.
+        Returns one report dict per checked cell.  Entries written under
+        a different stats schema are skipped: get() already never serves
+        them (prune removes them), so re-simulating could only produce a
+        false alarm.
+        """
+        checked = [
+            (p, e)
+            for p, e in self.iter_entries()
+            if e is not None
+            and e.get("key", {}).get("schema") == STATS_SCHEMA_VERSION
+        ]
+        if sample is not None and sample < len(checked):
+            # rng_seed=None draws fresh entropy, so repeated sampled
+            # verifies cover different cells over time.
+            rng = random.Random(rng_seed)
+            checked = rng.sample(checked, sample)
+        reports = []
+        for path, entry in checked:
+            key = entry["key"]
+            label = "{}/{}/n={}".format(
+                key.get("machine", {}).get("name")
+                or key.get("machine", {}).get("__kind__", "?"),
+                key.get("workload", {}).get("name", "?"),
+                key.get("instructions", "?"),
+            )
+            try:
+                fresh = compute(key)
+            except Exception as error:  # noqa: BLE001 - report, don't die
+                reports.append(
+                    {"digest": entry["digest"], "cell": label,
+                     "status": "error", "detail": str(error)}
+                )
+                continue
+            stored = entry["stats"]
+            current = fresh.to_dict()
+            if stored == current:
+                reports.append(
+                    {"digest": entry["digest"], "cell": label, "status": "ok"}
+                )
+            else:
+                diffs = [
+                    f"{name}: stored {stored.get(name)!r} != fresh {value!r}"
+                    for name, value in current.items()
+                    if stored.get(name) != value
+                ]
+                reports.append(
+                    {"digest": entry["digest"], "cell": label,
+                     "status": "stale", "detail": "; ".join(diffs[:4])}
+                )
+        return reports

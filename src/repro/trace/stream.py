@@ -13,7 +13,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
-from repro.isa import Instruction, OpClass
+from repro.isa import Instruction
 
 
 def take(trace: Iterable[Instruction], n: int) -> Iterator[Instruction]:

@@ -7,6 +7,7 @@ import itertools
 import zlib
 from typing import ClassVar, Iterator
 
+from repro.fingerprint import digest
 from repro.isa import Instruction
 from repro.trace.kernel import Kernel
 
@@ -30,6 +31,10 @@ class Workload(abc.ABC):
     suite: ClassVar[str] = ""
     #: One-line description of the behaviour being modelled.
     description: ClassVar[str] = ""
+    #: Bump in a subclass whenever its generator changes the emitted
+    #: trace; cached results keyed on the old fingerprint then miss
+    #: instead of replaying stale simulations.
+    trace_version: ClassVar[int] = 1
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
@@ -77,6 +82,23 @@ class Workload(abc.ABC):
             # Generate a minimal prefix so allocations happen.
             self.trace(512)
         return self._regions
+
+    def fingerprint(self) -> str:
+        """Stable digest of the workload's trace identity.
+
+        The determinism contract makes (generator class, benchmark name,
+        seed, trace version) a complete description of the instruction
+        stream — the trace itself never needs hashing.
+        """
+        return digest(
+            {
+                "__kind__": type(self).__name__,
+                "name": self.name,
+                "suite": self.suite,
+                "seed": self.seed,
+                "trace_version": self.trace_version,
+            }
+        )
 
     @property
     def footprint(self) -> int:

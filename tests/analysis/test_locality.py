@@ -1,7 +1,5 @@
 """Unit tests for the execution-locality analysis toolkit."""
 
-import pytest
-
 from repro.analysis import classify_locality, mlp_profile, slice_profile
 from repro.isa import InstructionBuilder
 from repro.memory import DEFAULT_MEMORY, MemoryHierarchy, warm_caches

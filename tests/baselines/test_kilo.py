@@ -6,7 +6,7 @@ from repro.branch import AlwaysTakenPredictor
 from repro.baselines.kilo import KiloCore
 from repro.baselines.ooo import R10Core
 from repro.memory import DEFAULT_MEMORY, MemoryHierarchy
-from repro.sim.config import KILO_1024, R10_64, KiloConfig
+from repro.sim.config import KILO_1024, R10_64
 
 from tests.conftest import make_alu_chain, make_load_chain
 

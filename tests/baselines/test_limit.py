@@ -1,6 +1,6 @@
 """Unit tests for the idealized (ROB-only) limit simulator."""
 
-from repro.branch import AlwaysTakenPredictor, make_predictor
+from repro.branch import AlwaysTakenPredictor
 from repro.baselines.limit import issue_distance_histogram, simulate_limit
 from repro.memory import DEFAULT_MEMORY, MemoryHierarchy, TABLE1_CONFIGS
 

@@ -1,7 +1,5 @@
 """Unit tests for the R10000-style out-of-order core."""
 
-import pytest
-
 from repro.branch import AlwaysTakenPredictor, make_predictor
 from repro.baselines.ooo import R10Core
 from repro.memory import DEFAULT_MEMORY, MemoryHierarchy, TABLE1_CONFIGS

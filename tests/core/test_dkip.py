@@ -2,8 +2,6 @@
 
 import dataclasses
 
-import pytest
-
 from repro.branch import AlwaysTakenPredictor
 from repro.baselines.ooo import R10Core
 from repro.core.dkip import DkipProcessor

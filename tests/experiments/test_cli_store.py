@@ -1,0 +1,137 @@
+"""CLI surface of the result store plus exit-code semantics."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import cli
+from repro.experiments.common import ExperimentResult, Scale
+
+
+def run_main(argv):
+    return cli.main(argv)
+
+
+def test_table1_json_export(tmp_path, capsys):
+    out_dir = tmp_path / "out"
+    assert run_main(["table1", "--scale", "quick", "--json", str(out_dir)]) == 0
+    data = json.loads((out_dir / "table1.json").read_text())
+    assert data["name"] == "table1"
+    assert data["scale"] == "quick"
+    assert data["headers"][0] == "config"
+    assert len(data["rows"]) == 6
+    roundtrip = ExperimentResult.from_dict(data)
+    assert roundtrip.rows == data["rows"]
+    assert roundtrip.scale == Scale.QUICK
+    assert "json written" in capsys.readouterr().out
+
+
+def test_failures_counted_named_and_capped(monkeypatch, capsys):
+    def empty(scale, store=None, force=False):
+        return ExperimentResult(name="empty", title="t", headers=["h"])
+
+    def boom(scale, store=None, force=False):
+        raise RuntimeError("kaboom")
+
+    fakes = {f"exp{i}": (empty if i % 2 else boom) for i in range(300)}
+    monkeypatch.setattr(cli, "EXPERIMENTS", fakes)
+    monkeypatch.setattr(cli, "get_experiment", lambda name: fakes[name])
+    # 300 failures must not overflow the exit-status byte.
+    assert run_main(list(fakes)) == 255
+    err = capsys.readouterr().err
+    assert "failed experiments:" in err
+    assert "exp0" in err and "kaboom" in err
+
+
+def test_single_failure_exit_code_and_stderr(monkeypatch, capsys):
+    def boom(scale, store=None, force=False):
+        raise RuntimeError("dead")
+
+    def ok(scale, store=None, force=False):
+        return ExperimentResult(name="ok", title="t", headers=["h"], rows=[[1]])
+
+    fakes = {"bad": boom, "good": ok}
+    monkeypatch.setattr(cli, "EXPERIMENTS", fakes)
+    monkeypatch.setattr(cli, "get_experiment", lambda name: fakes[name])
+    assert run_main(["bad", "good"]) == 1
+    captured = capsys.readouterr()
+    assert "failed experiments: bad" in captured.err
+    assert "ok: t" in captured.out  # the good one still rendered
+
+
+def test_unknown_experiment_still_exit_2(capsys):
+    assert run_main(["fig99"]) == 2
+
+
+def test_store_flag_round_trip(tmp_path, capsys):
+    store_dir = tmp_path / "cells"
+    args = ["fig13", "--scale", "quick", "--store", str(store_dir)]
+    assert run_main(args) == 0
+    first = capsys.readouterr().out
+    assert store_dir.is_dir()
+    assert run_main(args) == 0
+    second = capsys.readouterr().out
+
+    def rows(text):
+        return [line for line in text.splitlines() if line.startswith("|")]
+
+    assert rows(first) == rows(second)
+
+
+def test_no_store_overrides_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envstore"))
+    assert run_main(["table1", "--scale", "quick", "--no-store"]) == 0
+    assert not (tmp_path / "envstore").exists()
+
+
+def test_cache_requires_store(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    assert run_main(["cache", "stats"]) == 2
+    assert "no result store" in capsys.readouterr().err
+
+
+def test_cache_unknown_subcommand(tmp_path, capsys):
+    assert run_main(["cache", "frobnicate", "--store", str(tmp_path)]) == 2
+    assert "unknown cache command" in capsys.readouterr().err
+
+
+def test_cache_stats_prune_verify_cycle(tmp_path, capsys):
+    store_dir = str(tmp_path / "cells")
+    assert run_main(["fig13", "--scale", "quick", "--store", store_dir]) == 0
+    capsys.readouterr()
+
+    assert run_main(["cache", "stats", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "entries         5" in out
+    assert "DkipConfig" in out
+
+    assert run_main(["cache", "verify", "--sample", "2", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "verified 2 cell(s), 0 stale/errored" in out
+
+    assert run_main(["cache", "prune", "--all", "--store", store_dir]) == 0
+    assert "pruned 5 entries" in capsys.readouterr().out
+
+    assert run_main(["cache", "stats", "--store", store_dir]) == 0
+    assert "entries         0" in capsys.readouterr().out
+
+
+def test_cache_verify_flags_stale_cells(tmp_path, capsys):
+    store_dir = tmp_path / "cells"
+    assert run_main(["fig13", "--scale", "quick", "--store", str(store_dir)]) == 0
+    capsys.readouterr()
+    # Simulate code drift in one cell (keeping the entry internally
+    # consistent): verify must flag it and exit non-zero.
+    from repro.fingerprint import digest
+
+    tampered = 0
+    for path in store_dir.glob("objects/*/*.json"):
+        entry = json.loads(path.read_text())
+        entry["stats"]["cycles"] += 1
+        entry["stats_digest"] = digest(entry["stats"])
+        path.write_text(json.dumps(entry))
+        tampered += 1
+        break
+    assert tampered == 1
+    assert run_main(["cache", "verify", "--store", str(store_dir)]) == 1
+    assert "stale" in capsys.readouterr().out

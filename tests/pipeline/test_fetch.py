@@ -1,7 +1,7 @@
 """Unit tests for the fetch unit's stall-until-resolve model."""
 
 from repro.branch import AlwaysTakenPredictor, make_predictor
-from repro.isa import InstructionBuilder, OpClass
+from repro.isa import InstructionBuilder
 from repro.pipeline.fetch import FetchUnit
 from repro.sim.stats import SimStats
 

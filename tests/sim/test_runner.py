@@ -6,7 +6,6 @@ from repro.branch import AlwaysTakenPredictor
 from repro.memory import DEFAULT_MEMORY, MemoryHierarchy
 from repro.sim.config import DKIP_2048, KILO_1024, R10_64
 from repro.sim.runner import build_core, run_core, simulate
-from repro.sim.stats import SimStats
 from repro.workloads import get_workload
 
 

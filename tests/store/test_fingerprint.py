@@ -1,0 +1,93 @@
+"""Fingerprint determinism: the store is only sound if equal
+configurations digest equally — across objects, processes and runs."""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+import sys
+
+from repro.fingerprint import canonical, canonical_json, digest
+from repro.memory import DEFAULT_MEMORY
+from repro.memory.configs import MemoryConfig
+from repro.sim.config import (
+    DKIP_2048,
+    KILO_1024,
+    R10_64,
+    R10_256,
+    CoreConfig,
+    LimitMachine,
+    SchedulerPolicy,
+)
+from repro.workloads import get_workload
+
+
+def test_equal_configs_fingerprint_equal():
+    assert R10_64.fingerprint() == CoreConfig(
+        name="R10-64", rob_size=64, iq_int=40, iq_fp=40
+    ).fingerprint()
+
+
+def test_any_field_change_changes_fingerprint():
+    base = DKIP_2048.fingerprint()
+    assert dataclasses.replace(DKIP_2048, llib_size=1024).fingerprint() != base
+    assert dataclasses.replace(DKIP_2048, rob_timer=8).fingerprint() != base
+    # Nested dataclass fields count too.
+    cp = dataclasses.replace(DKIP_2048.cache_processor, iq_int=20)
+    assert dataclasses.replace(DKIP_2048, cache_processor=cp).fingerprint() != base
+
+
+def test_distinct_machines_are_distinct():
+    prints = {m.fingerprint() for m in (R10_64, R10_256, KILO_1024, DKIP_2048)}
+    assert len(prints) == 4
+
+
+def test_class_name_disambiguates_identical_fields():
+    # Same field values under different kinds must never collide.
+    assert canonical(R10_64)["__kind__"] == "CoreConfig"
+    assert digest(R10_64) != digest({**canonical(R10_64), "__kind__": "Other"})
+
+
+def test_enum_and_float_normalization():
+    assert canonical(SchedulerPolicy.IN_ORDER) == "ino"
+    assert digest({"x": 4.0}) == digest({"x": 4})
+
+
+def test_memory_and_workload_fingerprints():
+    assert DEFAULT_MEMORY.fingerprint() != DEFAULT_MEMORY.with_l2_size(65536).fingerprint()
+    assert isinstance(DEFAULT_MEMORY, MemoryConfig)
+    swim0, swim1 = get_workload("swim", seed=0), get_workload("swim", seed=1)
+    assert swim0.fingerprint() == get_workload("swim", seed=0).fingerprint()
+    assert swim0.fingerprint() != swim1.fingerprint()
+    assert swim0.fingerprint() != get_workload("mcf", seed=0).fingerprint()
+
+
+def test_limit_machine_fingerprints():
+    a = LimitMachine(rob_size=128, record_histogram=False)
+    assert a.fingerprint() == LimitMachine(rob_size=128, record_histogram=False).fingerprint()
+    assert a.fingerprint() != LimitMachine(rob_size=256, record_histogram=False).fingerprint()
+    assert LimitMachine(rob_size=None).name == "limit-rob-inf"
+
+
+def test_fingerprint_stable_across_processes():
+    """hash() is salted per process; the digest must not be."""
+    script = (
+        "from repro.sim.config import DKIP_2048\n"
+        "from repro.memory import DEFAULT_MEMORY\n"
+        "from repro.workloads import get_workload\n"
+        "print(DKIP_2048.fingerprint())\n"
+        "print(DEFAULT_MEMORY.fingerprint())\n"
+        "print(get_workload('mcf', seed=3).fingerprint())\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True, check=True
+    ).stdout.split()
+    assert out == [
+        DKIP_2048.fingerprint(),
+        DEFAULT_MEMORY.fingerprint(),
+        get_workload("mcf", seed=3).fingerprint(),
+    ]
+
+
+def test_canonical_json_is_key_order_independent():
+    assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})

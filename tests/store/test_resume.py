@@ -1,0 +1,109 @@
+"""Resumable, incremental sweeps: the store makes re-runs cost the delta.
+
+The acceptance contract: a sweep run twice against the same store
+simulates zero cells the second time and produces bit-identical rows; a
+sweep interrupted mid-flight completes only the missing cells when
+re-run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import WorkloadPool, run_many, run_suite
+from repro.experiments.registry import get_experiment
+from repro.memory import DEFAULT_MEMORY
+from repro.sim.config import R10_64, R10_256
+from repro.store import ResultStore, cell_key
+
+NAMES = ("swim", "mcf", "gcc")
+N = 600
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def test_second_run_simulates_nothing(store):
+    pool = WorkloadPool()
+    cold = run_suite(R10_64, NAMES, N, pool, jobs=1, store=store)
+    assert store.writes == len(NAMES)
+    warm = run_suite(R10_64, NAMES, N, pool, jobs=1, store=store)
+    assert store.hits == len(NAMES)
+    assert store.writes == len(NAMES)  # nothing recomputed
+    assert warm == cold
+
+
+def test_store_results_match_storeless(store):
+    pool = WorkloadPool()
+    plain = run_suite(R10_64, NAMES, N, pool, jobs=1)
+    stored = run_suite(R10_64, NAMES, N, pool, jobs=1, store=store)
+    rehydrated = run_suite(R10_64, NAMES, N, pool, jobs=1, store=store)
+    assert plain == stored == rehydrated
+
+
+def test_interrupted_sweep_resumes_missing_cells_only(store):
+    """Pre-populate a strict subset of cells (as a killed sweep would
+    leave behind), then re-run: only the gap is simulated."""
+    pool = WorkloadPool()
+    reference = run_suite(R10_64, NAMES, N, pool, jobs=1)
+    # "Interrupted" run: only the first cell made it to disk.
+    key = cell_key(R10_64, pool.get(NAMES[0]), N, DEFAULT_MEMORY)
+    store.put(key, reference[0])
+    resumed = run_suite(R10_64, NAMES, N, pool, jobs=1, store=store)
+    assert resumed == reference
+    assert store.hits == 1
+    assert store.writes == 1 + (len(NAMES) - 1)
+
+
+def test_incremental_run_recomputes_only_changed_cells(store):
+    """Changing one swept parameter misses only the changed cells."""
+    pool = WorkloadPool()
+    run_suite(R10_64, NAMES, N, pool, jobs=1, store=store)
+    writes = store.writes
+    # Same config, one extra benchmark: exactly one new cell.
+    run_suite(R10_64, NAMES + ("art",), N, pool, jobs=1, store=store)
+    assert store.writes == writes + 1
+    # A different machine config misses every cell again.
+    run_suite(R10_256, NAMES, N, pool, jobs=1, store=store)
+    assert store.writes == writes + 1 + len(NAMES)
+
+
+def test_parallel_sweep_writes_back_and_resumes(store):
+    pool = WorkloadPool()
+    cold = run_many((R10_64, R10_256), NAMES, N, pool, jobs=2, store=store)
+    assert store.writes == 2 * len(NAMES)
+    warm = run_many((R10_64, R10_256), NAMES, N, pool, jobs=2, store=store)
+    assert store.writes == 2 * len(NAMES)
+    assert store.hits == 2 * len(NAMES)
+    assert warm == cold
+    # Serial and parallel paths share one key space.
+    serial = run_suite(R10_64, NAMES, N, pool, jobs=1, store=store)
+    assert serial == cold[0]
+    assert store.writes == 2 * len(NAMES)
+
+
+@pytest.mark.slow
+def test_fig9_rows_bit_identical_and_fully_cached(tmp_path):
+    """The acceptance criterion, end to end at quick scale."""
+    store = ResultStore(tmp_path / "store")
+    cold = get_experiment("fig9")("quick", store=store)
+    simulated = store.writes
+    assert simulated > 0
+    warm = get_experiment("fig9")("quick", store=store)
+    assert store.writes == simulated  # zero cells simulated on re-run
+    assert warm.rows == cold.rows
+    assert warm.headers == cold.headers
+
+
+@pytest.mark.slow
+def test_fig1_limit_cells_cache_and_resume(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    cold = get_experiment("fig1")("quick", store=store)
+    simulated = store.writes
+    warm = get_experiment("fig1")("quick", store=store)
+    assert store.writes == simulated
+    assert warm.rows == cold.rows
+    plain = get_experiment("fig1")("quick")
+    assert plain.rows == cold.rows
