@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-smoke bench-baseline experiments
+.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -31,3 +31,9 @@ bench-baseline:
 # Regenerate every paper table/figure at quick scale.
 experiments:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments all --scale quick
+
+# Build REPRODUCTION.md: every registered figure as embedded SVG with a
+# reproduced-vs-paper verdict.  Cells cache in .repro-store, so the
+# first run simulates (~half a minute) and re-runs render in under 5s.
+reproduce:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments report --scale quick --store .repro-store --out REPRODUCTION.md

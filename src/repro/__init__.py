@@ -13,8 +13,9 @@ Quickstart::
     dkip = run_core(DKIP_2048, workload, 20_000)
     print(f"R10-64 IPC {base.ipc:.2f}  vs  D-KIP IPC {dkip.ipc:.2f}")
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-per-figure reproduction record.
+See ``ARCHITECTURE.md`` for the module map and ``REPRODUCTION.md``
+(regenerate with ``make reproduce``) for the per-figure reproduction
+record with verdicts against the paper.
 """
 
 from repro.sim import (

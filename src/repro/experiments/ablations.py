@@ -31,6 +31,14 @@ from repro.experiments.common import (
     scale_of,
     suite_names,
 )
+from repro.report.spec import (
+    Check,
+    FigureSpec,
+    cell,
+    cell_ratio,
+    single_series,
+    wide_rows_as_groups,
+)
 from repro.sim.config import DKIP_2048, KILO_1024, R10_64, RunaheadConfig
 
 
@@ -141,3 +149,85 @@ def run_runahead(
         "nothing."
     )
     return result
+
+
+#: Report specs for the design studies.  These are not paper figures, so
+#: most are shape-only; the runahead study encodes the related-work
+#: claim (reference [24]) that prefetch-by-pre-execution lands between
+#: the small-window baseline and the true large-window machines.
+SPECS = {
+    "ablation-timer": FigureSpec(
+        kind="line",
+        caption="SpecFP mean IPC vs the Aging-ROB timer (ROB capacity "
+        "follows as timer x decode width); the paper picks 16 cycles",
+        x_label="Aging-ROB timer (cycles)",
+        y_label="mean IPC",
+        series=single_series("SpecFP mean IPC", x_col=0, y_col=2),
+    ),
+    "ablation-llib": FigureSpec(
+        kind="line",
+        caption="Mean IPC over all benchmarks vs LLIB capacity — how big "
+        "the FIFO must be before fill-up stalls vanish",
+        x_label="LLIB entries",
+        y_label="mean IPC",
+        logx=True,
+        series=single_series("mean IPC", x_col=0, y_col=1),
+    ),
+    "ablation-predictor": FigureSpec(
+        kind="bars",
+        caption="SpecINT mean IPC on the D-KIP by branch predictor "
+        "(Table 2 uses the perceptron)",
+        x_label="predictor",
+        y_label="mean IPC",
+        groups=wide_rows_as_groups(0, {"mean IPC": 1}),
+        checks=(
+            Check(
+                "perceptron vs gshare",
+                1.0,
+                cell_ratio(
+                    cell("mean IPC", predictor="perceptron"),
+                    cell("mean IPC", predictor="gshare"),
+                ),
+                mode="at_least",
+                warn_rel=0.05,
+                note="Table 2 picks the perceptron; it should not lose "
+                "to the cheaper history predictors",
+            ),
+        ),
+    ),
+    "ablation-runahead": FigureSpec(
+        kind="bars",
+        caption="SpecFP mean IPC: runahead execution against the "
+        "small-window baseline and the KILO-class machines",
+        x_label="machine",
+        y_label="mean IPC",
+        groups=wide_rows_as_groups(0, {"mean IPC": 1}),
+        checks=(
+            Check(
+                "runahead vs R10-64",
+                1.0,
+                cell_ratio(
+                    cell("mean IPC", machine="runahead-64"),
+                    cell("mean IPC", machine="R10-64"),
+                ),
+                mode="at_least",
+                warn_rel=0.10,
+                note="prefetch-by-pre-execution should beat the plain "
+                "small-window core on SpecFP",
+            ),
+            Check(
+                "runahead vs D-KIP-2048",
+                1.0,
+                cell_ratio(
+                    cell("mean IPC", machine="runahead-64"),
+                    cell("mean IPC", machine="D-KIP-2048"),
+                ),
+                mode="at_most",
+                warn_rel=0.10,
+                note="every runahead episode re-executes its "
+                "instructions, so it cannot reach the true "
+                "large-window machines",
+            ),
+        ),
+    ),
+}

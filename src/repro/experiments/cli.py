@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig9 fig12 --scale full
     python -m repro.experiments fig3 --csv results/ --json results/
     dkip-experiments fig9 --store .repro-store     # cached, resumable
+    dkip-experiments report --store .repro-store   # build REPRODUCTION.md
     dkip-experiments cache stats                   # inspect the store
     dkip-experiments cache verify --sample 3       # catch stale caches
     dkip-experiments --list
@@ -15,6 +16,10 @@ variable) makes every sweep incremental: cells already on disk are not
 re-simulated, and a sweep killed mid-flight resumes from the completed
 cells.  ``--force`` recomputes and overwrites; ``--no-store`` ignores
 any configured store for this invocation.
+
+``report`` assembles every requested experiment (default: all) into one
+standalone Markdown document with embedded SVG charts and a
+reproduced-vs-paper verdict per figure; on a warm store it only renders.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ import os
 import sys
 
 from repro.experiments.common import Scale, compute_cell
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.registry import EXPERIMENTS, REGISTRY, get_experiment
 from repro.store import ResultStore
 
 
@@ -41,7 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         default=["all"],
-        help="experiment names (e.g. fig9 fig12), 'all', or 'cache <cmd>'",
+        help="experiment names (e.g. fig9 fig12), 'all', 'report "
+        "[names...]', or 'cache <cmd>'",
     )
     parser.add_argument(
         "--scale",
@@ -90,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="prune_all",
         help="cache prune: remove every entry, not just corrupt/stale ones",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="REPRODUCTION.md",
+        help="report: output path for the assembled document "
+        "(default: %(default)s)",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
@@ -156,15 +169,51 @@ def run_cache_command(args) -> int:
     return 1 if stale else 0
 
 
+def run_report_command(args) -> int:
+    """Dispatch ``dkip-experiments report [names...]``."""
+    from repro.report import build_report
+
+    names = args.experiments[1:] or None
+    if names is not None and "all" in names:
+        names = None  # same semantics as the plain run path
+    if args.csv or args.json:
+        print(
+            "note: --csv/--json apply to plain experiment runs; the report "
+            "subcommand only writes --out",
+            file=sys.stderr,
+        )
+    store = resolve_store(args)
+    try:
+        document = build_report(
+            names, Scale(args.scale), store=store, force=args.force
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    figures = document.count("<svg")
+    print(f"wrote {args.out} ({len(document)} chars, {figures} figures)")
+    if store is not None:
+        print(
+            f"store {store.root}: {store.hits} cells cached, "
+            f"{store.writes} simulated"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
-        for name in EXPERIMENTS:
-            print(name)
+        width = max(len(name) for name in REGISTRY)
+        for name, experiment in REGISTRY.items():
+            print(f"{name:<{width}}  {experiment.paper:<12}  {experiment.description}")
         return 0
     names = list(args.experiments) or ["all"]
     if names and names[0] == "cache":
         return run_cache_command(args)
+    if names and names[0] == "report":
+        return run_report_command(args)
     if "all" in names:
         names = list(EXPERIMENTS)
     scale = Scale(args.scale)

@@ -63,6 +63,7 @@ QUICK_SUBSET = {
 
 
 def scale_of(value: "Scale | str") -> Scale:
+    """Coerce a CLI string or :class:`Scale` member to a :class:`Scale`."""
     return Scale(value)
 
 
@@ -81,6 +82,7 @@ class WorkloadPool:
         self._cache: dict[str, object] = {}
 
     def get(self, name: str):
+        """Return the cached workload named *name*, materializing it once."""
         workload = self._cache.get(name)
         if workload is None:
             workload = get_workload(name, seed=self.seed)
@@ -440,7 +442,14 @@ def mean_ipc(stats: Sequence[SimStats]) -> float:
 
 @dataclass
 class ExperimentResult:
-    """Everything one harness produces."""
+    """Everything one harness produces.
+
+    The single currency between the experiment harnesses and every
+    consumer: the CLI renders it as ASCII (:meth:`render`), the CSV/JSON
+    exporters serialize it, and the reproduction report extracts chart
+    series and verdict metrics from ``headers``/``rows`` through each
+    experiment's :class:`repro.report.spec.FigureSpec`.
+    """
 
     name: str
     title: str
@@ -452,6 +461,7 @@ class ExperimentResult:
     scale: Scale = Scale.DEFAULT
 
     def render(self) -> str:
+        """Return the terminal rendering: table, ASCII charts, notes."""
         parts = [
             table(self.headers, self.rows, title=f"{self.name}: {self.title} "
                   f"[scale={self.scale.value}, {self.elapsed_seconds:.1f}s]")
@@ -463,6 +473,7 @@ class ExperimentResult:
         return "\n\n".join(parts)
 
     def write_csv(self, directory: str) -> str:
+        """Write headers + rows as ``<directory>/<name>.csv``; return the path."""
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, f"{self.name}.csv")
         with open(path, "w", newline="") as handle:
@@ -486,6 +497,7 @@ class ExperimentResult:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (JSON round-trip)."""
         return cls(
             name=data["name"],
             title=data["title"],

@@ -27,6 +27,7 @@ from repro.experiments.common import (
     suite_names,
 )
 from repro.memory.configs import KB, MB, memory_config_for_l2_size
+from repro.report.spec import Check, FigureSpec, cell, rows_as_series
 from repro.sim.config import DKIP_2048, R10_256
 from repro.viz.ascii import line_chart
 
@@ -112,6 +113,78 @@ def run(
 
 def _size_label(size: int) -> str:
     return f"{size // MB}MB" if size >= MB else f"{size // KB}KB"
+
+
+def _cache_spec(suite: str, checks: tuple[Check, ...]) -> FigureSpec:
+    return FigureSpec(
+        kind="line",
+        caption=f"Mean Spec{suite.upper()} IPC vs L2 capacity for the "
+        "R10-256 baseline and the D-KIP CP/MP configurations",
+        x_label="L2 size (KB)",
+        y_label="mean IPC",
+        logx=True,
+        series=rows_as_series(),
+        checks=checks,
+    )
+
+
+#: Report specs.  Figure 12 (SpecFP) carries the paper's stated numbers:
+#: cache sensitivity of the baseline vs near-insensitivity of the D-KIP,
+#: plus the §4.4 CP-share growth.  Figure 11 (SpecINT) is qualitative —
+#: every machine should climb with each L2 doubling.
+SPECS = {
+    "fig11": _cache_spec(
+        "int",
+        (
+            Check(
+                "R10-256 IPC gain across the L2 sweep",
+                1.15,
+                cell("sweep gain", machine="R10-256"),
+                mode="at_least",
+                note="paper: SpecINT IPC climbs steadily with every "
+                "doubling on every machine (no absolute number stated)",
+            ),
+            Check(
+                "aggressive D-KIP (OOO-80/OOO-40) gain across the sweep",
+                1.10,
+                cell("sweep gain", machine="OOO-80/OOO-40"),
+                mode="at_least",
+                note="paper: on SpecINT the D-KIP behaves like the "
+                "conventional core",
+            ),
+        ),
+    ),
+    "fig12": _cache_spec(
+        "fp",
+        (
+            Check(
+                "R10-256 IPC gain across the L2 sweep",
+                1.55,
+                cell("sweep gain", machine="R10-256"),
+                pass_rel=0.20,
+                warn_rel=0.45,
+                note="paper: the conventional core is strongly cache-"
+                "sensitive on SpecFP",
+            ),
+            Check(
+                "aggressive D-KIP (OOO-80/OOO-40) gain across the sweep",
+                1.18,
+                cell("sweep gain", machine="OOO-80/OOO-40"),
+                pass_rel=0.20,
+                warn_rel=0.45,
+                note="paper: the D-KIP is remarkably cache-insensitive — "
+                "long-latency instructions never stall the CP",
+            ),
+            Check(
+                "CP share of committed instructions at 4MB",
+                0.77,
+                cell("CP% 64K→4M", pick="last", machine="OOO-80/OOO-40"),
+                note="paper §4.4: the CP executes 67%→77% of commits as "
+                "the L2 grows from 64KB to 4MB",
+            ),
+        ),
+    ),
+}
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from repro.experiments.common import (
     scale_of,
     suite_names,
 )
+from repro.report.spec import Check, FigureSpec, max_row_ratio, wide_rows_as_groups
 from repro.sim.config import DKIP_2048
 from repro.viz.ascii import bar_chart
 
@@ -68,6 +69,35 @@ def run(
         "(paper: registers always below instructions; INT pressure > FP)"
     )
     return result
+
+
+def _occupancy_spec(suite: str) -> FigureSpec:
+    llib = "integer" if suite == "int" else "floating-point"
+    return FigureSpec(
+        kind="bars",
+        caption=f"Peak instructions and LLRF registers simultaneously "
+        f"live in the {llib} LLIB, per Spec{suite.upper()} benchmark",
+        x_label="benchmark",
+        y_label="peak LLIB entries",
+        groups=wide_rows_as_groups(
+            0, {"max instructions": 1, "max registers": 2}
+        ),
+        checks=(
+            Check(
+                "per-benchmark peak registers / peak instructions",
+                1.0,
+                max_row_ratio("max registers", "max instructions"),
+                mode="at_most",
+                warn_rel=0.05,
+                note="paper: many LLIB entries carry no READY operand, so "
+                "live registers always stay below live instructions",
+            ),
+        ),
+    )
+
+
+#: Report specs (Figure 13 = integer LLIB, Figure 14 = FP LLIB).
+SPECS = {"fig13": _occupancy_spec("int"), "fig14": _occupancy_spec("fp")}
 
 
 if __name__ == "__main__":

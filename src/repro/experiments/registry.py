@@ -1,7 +1,15 @@
-"""Experiment registry: the CLI and the benchmark harness look up here."""
+"""Experiment registry: the CLI, report builder and benchmarks look up here.
+
+Each entry is an :class:`Experiment` record binding a name to its runner,
+a one-line description, the paper table/figure it reproduces, and the
+:class:`~repro.report.spec.FigureSpec` the reproduction report renders it
+with.  ``EXPERIMENTS`` (name → runner) and :func:`get_experiment` keep
+the original callable-based surface for callers that only run things.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments import (
@@ -15,33 +23,182 @@ from repro.experiments import (
     table1,
 )
 from repro.experiments.common import ExperimentResult, Scale
+from repro.report.spec import FigureSpec
 
-#: name -> callable(scale, store=..., force=...) regenerating that
-#: table/figure; extra keyword arguments pass through to the harness.
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered table/figure/ablation regeneration."""
+
+    name: str
+    run: Callable[..., ExperimentResult]
+    description: str
+    paper: str  #: the paper table/figure this reproduces, or a study label
+    spec: FigureSpec | None = None
+
+
+def _fig1(scale=Scale.DEFAULT, **kw):
+    return fig01_02_window.run(scale, suite="int", **kw)
+
+
+def _fig2(scale=Scale.DEFAULT, **kw):
+    return fig01_02_window.run(scale, suite="fp", **kw)
+
+
+def _fig10(scale=Scale.DEFAULT, **kw):
+    return fig10_scheduling.run(scale, suite="fp", **kw)
+
+
+def _fig10int(scale=Scale.DEFAULT, **kw):
+    return fig10_scheduling.run(scale, suite="int", **kw)
+
+
+def _fig11(scale=Scale.DEFAULT, **kw):
+    return fig11_12_cache.run(scale, suite="int", **kw)
+
+
+def _fig12(scale=Scale.DEFAULT, **kw):
+    return fig11_12_cache.run(scale, suite="fp", **kw)
+
+
+def _fig13(scale=Scale.DEFAULT, **kw):
+    return fig13_14_occupancy.run(scale, suite="int", **kw)
+
+
+def _fig14(scale=Scale.DEFAULT, **kw):
+    return fig13_14_occupancy.run(scale, suite="fp", **kw)
+
+
+#: name -> full experiment record, in report/document order.
+REGISTRY: dict[str, Experiment] = {
+    e.name: e
+    for e in (
+        Experiment(
+            "table1",
+            table1.run,
+            "The six memory subsystems of the memory-wall characterization",
+            "Table 1",
+            table1.SPEC,
+        ),
+        Experiment(
+            "fig1",
+            _fig1,
+            "SpecINT IPC vs instruction-window size under six memory systems",
+            "Figure 1",
+            fig01_02_window.SPECS["fig1"],
+        ),
+        Experiment(
+            "fig2",
+            _fig2,
+            "SpecFP IPC vs instruction-window size under six memory systems",
+            "Figure 2",
+            fig01_02_window.SPECS["fig2"],
+        ),
+        Experiment(
+            "fig3",
+            fig03_locality.run,
+            "Decode→issue distance distribution — execution locality",
+            "Figure 3",
+            fig03_locality.SPEC,
+        ),
+        Experiment(
+            "fig9",
+            fig09_comparison.run,
+            "Headline IPC comparison: R10-64/256, KILO-1024, D-KIP-2048",
+            "Figure 9",
+            fig09_comparison.SPEC,
+        ),
+        Experiment(
+            "fig10",
+            _fig10,
+            "CP/MP scheduler policy and queue-size sweep on SpecFP",
+            "Figure 10",
+            fig10_scheduling.SPECS["fig10"],
+        ),
+        Experiment(
+            "fig10int",
+            _fig10int,
+            "CP/MP scheduler policy and queue-size sweep on SpecINT",
+            "§4.3 (text)",
+            fig10_scheduling.SPECS["fig10int"],
+        ),
+        Experiment(
+            "fig11",
+            _fig11,
+            "L2 cache-size sweep on SpecINT",
+            "Figure 11",
+            fig11_12_cache.SPECS["fig11"],
+        ),
+        Experiment(
+            "fig12",
+            _fig12,
+            "L2 cache-size sweep on SpecFP",
+            "Figure 12",
+            fig11_12_cache.SPECS["fig12"],
+        ),
+        Experiment(
+            "fig13",
+            _fig13,
+            "Integer LLIB instruction and register occupancy",
+            "Figure 13",
+            fig13_14_occupancy.SPECS["fig13"],
+        ),
+        Experiment(
+            "fig14",
+            _fig14,
+            "Floating-point LLIB instruction and register occupancy",
+            "Figure 14",
+            fig13_14_occupancy.SPECS["fig14"],
+        ),
+        # Ablations (not paper figures; design-choice studies).
+        Experiment(
+            "ablation-timer",
+            ablations.run_timer,
+            "Aging-ROB timer sweep (the paper picks 16 cycles)",
+            "design study",
+            ablations.SPECS["ablation-timer"],
+        ),
+        Experiment(
+            "ablation-llib",
+            ablations.run_llib_size,
+            "LLIB capacity sweep — when do fill-up stalls vanish?",
+            "design study",
+            ablations.SPECS["ablation-llib"],
+        ),
+        Experiment(
+            "ablation-predictor",
+            ablations.run_predictor,
+            "Branch predictor ablation (Table 2 uses the perceptron)",
+            "design study",
+            ablations.SPECS["ablation-predictor"],
+        ),
+        Experiment(
+            "ablation-runahead",
+            ablations.run_runahead,
+            "Runahead execution vs the KILO-class machines",
+            "design study",
+            ablations.SPECS["ablation-runahead"],
+        ),
+    )
+}
+
+#: name -> callable(scale, store=..., force=...) — the original runner
+#: surface; extra keyword arguments pass through to the harness.
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
-    "table1": table1.run,
-    "fig1": lambda scale=Scale.DEFAULT, **kw: fig01_02_window.run(scale, suite="int", **kw),
-    "fig2": lambda scale=Scale.DEFAULT, **kw: fig01_02_window.run(scale, suite="fp", **kw),
-    "fig3": fig03_locality.run,
-    "fig9": fig09_comparison.run,
-    "fig10": lambda scale=Scale.DEFAULT, **kw: fig10_scheduling.run(scale, suite="fp", **kw),
-    "fig10int": lambda scale=Scale.DEFAULT, **kw: fig10_scheduling.run(scale, suite="int", **kw),
-    "fig11": lambda scale=Scale.DEFAULT, **kw: fig11_12_cache.run(scale, suite="int", **kw),
-    "fig12": lambda scale=Scale.DEFAULT, **kw: fig11_12_cache.run(scale, suite="fp", **kw),
-    "fig13": lambda scale=Scale.DEFAULT, **kw: fig13_14_occupancy.run(scale, suite="int", **kw),
-    "fig14": lambda scale=Scale.DEFAULT, **kw: fig13_14_occupancy.run(scale, suite="fp", **kw),
-    # Ablations (not paper figures; design-choice studies from DESIGN.md).
-    "ablation-timer": ablations.run_timer,
-    "ablation-llib": ablations.run_llib_size,
-    "ablation-predictor": ablations.run_predictor,
-    "ablation-runahead": ablations.run_runahead,
+    name: experiment.run for name, experiment in REGISTRY.items()
 }
 
 
 def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    """The runner registered under *name* (raises ``ValueError`` if absent)."""
+    return get_info(name).run
+
+
+def get_info(name: str) -> Experiment:
+    """The full :class:`Experiment` record registered under *name*."""
     try:
-        return EXPERIMENTS[name]
+        return REGISTRY[name]
     except KeyError:
         raise ValueError(
-            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+            f"unknown experiment {name!r}; available: {', '.join(REGISTRY)}"
         ) from None

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, Scale, Stopwatch, scale_of
 from repro.memory import MemoryHierarchy, TABLE1_CONFIGS
+from repro.report.spec import Check, FigureSpec, row_count
 
 
 def run(
@@ -52,6 +53,25 @@ def _size(size: int | None) -> str:
     if size is None:
         return "inf"
     return f"{size // 1024}KB"
+
+
+#: Report spec: a configuration table (no chart); the structural check
+#: pins the paper's six memory subsystems.
+SPEC = FigureSpec(
+    kind="table",
+    caption="The six memory subsystems of the paper's memory-wall "
+    "characterization, each validated by building a working hierarchy",
+    checks=(
+        Check(
+            "memory configurations defined",
+            6.0,
+            row_count(),
+            pass_rel=0.0,
+            warn_rel=0.0,
+            note="Table 1 lists six configurations, L1-2 through MEM-400",
+        ),
+    ),
+)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,25 @@
+"""Self-rendering reproduction report.
+
+The subsystem that turns the result store into the paper's figures:
+declarative :class:`FigureSpec` records (one per experiment, defined
+next to each harness) drive SVG rendering (:mod:`repro.viz.svg`),
+reproduced-vs-paper verdicts (:mod:`repro.report.verdict`) and the
+assembly of a single standalone ``REPRODUCTION.md``
+(:mod:`repro.report.build`), reachable as ``dkip-experiments report``
+or ``make reproduce``.
+"""
+
+from repro.report.build import build_report, build_sections, markdown_table
+from repro.report.spec import Check, FigureSpec
+from repro.report.verdict import CheckResult, FigureVerdict, evaluate
+
+__all__ = [
+    "Check",
+    "CheckResult",
+    "FigureSpec",
+    "FigureVerdict",
+    "build_report",
+    "build_sections",
+    "evaluate",
+    "markdown_table",
+]

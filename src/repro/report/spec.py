@@ -1,0 +1,378 @@
+"""Declarative figure specifications for the reproduction report.
+
+Every registered experiment carries a :class:`FigureSpec` describing how
+its :class:`~repro.experiments.common.ExperimentResult` becomes a chart
+(axes, series extraction, caption) and how it compares to the paper
+(reference overlays plus :class:`Check` verdict rules).  The specs live
+next to the harnesses in ``src/repro/experiments/`` and are consumed by
+:mod:`repro.report.build`; nothing here runs a simulation.
+
+Extraction is table-driven: the helpers below (``rows_as_series``,
+``columns_as_series``, ``wide_rows_as_groups`` …) close over column
+positions and parse axis values out of header strings, so one spec works
+at every scale even though ``quick`` and ``full`` sweeps emit different
+column counts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.experiments.common import ExperimentResult
+
+#: ``extract`` signature for line figures: result -> series name -> points.
+SeriesExtractor = Callable[[ExperimentResult], dict[str, list[tuple[float, float]]]]
+#: ``extract`` signature for bar figures: result -> group -> series -> value.
+GroupExtractor = Callable[[ExperimentResult], dict[str, dict[str, float]]]
+#: ``metric`` signature for checks: result -> reproduced value (None = no data).
+Metric = Callable[[ExperimentResult], "float | None"]
+
+_NUMBER = re.compile(r"-?\d+(?:\.\d+)?")
+#: Unsigned variant for axis labels, where "-" separates ("rob-32").
+_UNSIGNED = re.compile(r"\d+(?:\.\d+)?")
+_SIZE_SUFFIX = {"kb": 1.0, "mb": 1024.0, "k": 1.0, "m": 1024.0}
+
+
+def parse_axis_value(text: object) -> float | None:
+    """Parse an axis coordinate out of a header or row label.
+
+    Understands the label shapes the harness tables use: ``"rob-512"``
+    → 512, ``"64KB"`` → 64, ``"4MB"`` → 4096 (sizes normalize to KB),
+    ``"OOO-40"`` → 40, ``"INO"`` → 1 (in-order plots as queue size 1 on
+    the paper's axes), plain numbers pass through.  Returns ``None`` for
+    labels that carry no coordinate (``"sweep gain"``, ``"machine"`` …).
+    """
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        return float(text)
+    label = str(text).strip()
+    if label.upper() == "INO":
+        return 1.0
+    match = _UNSIGNED.search(label)
+    if match is None:
+        return None
+    value = float(match.group())
+    suffix = label[match.end() :].strip().lower()
+    if suffix in _SIZE_SUFFIX:
+        return value * _SIZE_SUFFIX[suffix]
+    if suffix:  # trailing text that is not a size unit: not a coordinate
+        return None
+    return value
+
+
+def parse_numeric(value: object, pick: str = "first") -> float | None:
+    """Coerce a table cell to a float, tolerating harness formatting.
+
+    Handles plain numbers, ``"1.55x"`` speedups (→ 1.55), and
+    ``"67%→77%"`` percentage spans, where *pick* selects the ``"first"``
+    or ``"last"`` number and percentages normalize to fractions.  A
+    hyphen directly after an alphanumeric character is a separator, not
+    a minus sign, so a label like ``"MEM-400"`` reads as 400, never -400.
+    """
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value)
+    numbers = []
+    for match in _NUMBER.finditer(text):
+        number = match.group()
+        if (
+            number.startswith("-")
+            and match.start() > 0
+            and text[match.start() - 1].isalnum()
+        ):
+            number = number[1:]
+        numbers.append(number)
+    if not numbers:
+        return None
+    chosen = numbers[0] if pick == "first" else numbers[-1]
+    result = float(chosen)
+    if "%" in text:
+        result /= 100.0
+    return result
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+# ----------------------------------------------------------------------
+# Series extractors (line figures)
+# ----------------------------------------------------------------------
+
+
+def rows_as_series(label_col: int = 0) -> SeriesExtractor:
+    """One series per row; x coordinates parsed from the column headers.
+
+    Fits the sweep tables (fig1/2, fig11/12) whose rows are
+    ``[label, y@x1, y@x2, ...]`` under headers like ``rob-32`` or
+    ``64KB``; header columns that parse to no coordinate (``"sweep
+    gain"``) are skipped, which keeps the spec valid at every scale.
+    """
+
+    def _extract(result: ExperimentResult) -> dict[str, list[tuple[float, float]]]:
+        xs = [(i, parse_axis_value(h)) for i, h in enumerate(result.headers)]
+        xs = [(i, x) for i, x in xs if i != label_col and x is not None]
+        series: dict[str, list[tuple[float, float]]] = {}
+        for row in result.rows:
+            points = [
+                (x, float(row[i]))
+                for i, x in xs
+                if i < len(row) and _is_number(row[i])
+            ]
+            if points:
+                series[str(row[label_col])] = points
+        return series
+
+    return _extract
+
+
+def columns_as_series(label_col: int = 0) -> SeriesExtractor:
+    """One series per column; x coordinates parsed from the row labels.
+
+    Fits fig10-style tables whose rows are ``[CP config, y@MP1, y@MP2]``:
+    each value column becomes a series named by its header, plotted
+    against the coordinate parsed from column *label_col*.
+    """
+
+    def _extract(result: ExperimentResult) -> dict[str, list[tuple[float, float]]]:
+        series: dict[str, list[tuple[float, float]]] = {}
+        for row in result.rows:
+            x = parse_axis_value(row[label_col])
+            if x is None:
+                continue
+            for i, header in enumerate(result.headers):
+                if i == label_col or i >= len(row) or not _is_number(row[i]):
+                    continue
+                series.setdefault(str(header), []).append((x, float(row[i])))
+        return series
+
+    return _extract
+
+
+def single_series(name: str, x_col: int = 0, y_col: int = 1) -> SeriesExtractor:
+    """One named series from an (x, y) column pair (ablation sweeps)."""
+
+    def _extract(result: ExperimentResult) -> dict[str, list[tuple[float, float]]]:
+        points = []
+        for row in result.rows:
+            x = parse_axis_value(row[x_col])
+            y = parse_numeric(row[y_col]) if y_col < len(row) else None
+            if x is not None and y is not None:
+                points.append((x, y))
+        return {name: points} if points else {}
+
+    return _extract
+
+
+# ----------------------------------------------------------------------
+# Group extractors (bar figures)
+# ----------------------------------------------------------------------
+
+
+def long_rows_as_groups(
+    group_col: int, series_col: int, value_col: int
+) -> GroupExtractor:
+    """Long-format rows ``[..group.., ..series.., ..value..]`` to groups.
+
+    Fits fig9: each row names its group (suite) and series (machine) in
+    columns, one value per row.
+    """
+
+    def _extract(result: ExperimentResult) -> dict[str, dict[str, float]]:
+        groups: dict[str, dict[str, float]] = {}
+        for row in result.rows:
+            value = parse_numeric(row[value_col])
+            if value is None:
+                continue
+            groups.setdefault(str(row[group_col]), {})[str(row[series_col])] = value
+        return groups
+
+    return _extract
+
+
+def wide_rows_as_groups(
+    group_col: int, series_cols: Mapping[str, int]
+) -> GroupExtractor:
+    """Wide-format rows to groups: one group per row, named value columns.
+
+    Fits fig13/14 (``benchmark, max instructions, max registers``) and
+    single-bar charts (*series_cols* with one entry).
+    """
+
+    def _extract(result: ExperimentResult) -> dict[str, dict[str, float]]:
+        groups: dict[str, dict[str, float]] = {}
+        for row in result.rows:
+            bars = {}
+            for name, col in series_cols.items():
+                value = parse_numeric(row[col]) if col < len(row) else None
+                if value is not None:
+                    bars[name] = value
+            if bars:
+                groups[str(row[group_col])] = bars
+        return groups
+
+    return _extract
+
+
+# ----------------------------------------------------------------------
+# Check metrics (reproduced-vs-paper comparisons)
+# ----------------------------------------------------------------------
+
+
+def _column_index(result: ExperimentResult, col: str) -> int | None:
+    try:
+        return result.headers.index(col)
+    except ValueError:
+        return None
+
+
+def _find_row(result: ExperimentResult, where: Mapping[str, object]):
+    indexed = []
+    for header, wanted in where.items():
+        i = _column_index(result, header)
+        if i is None:
+            return None
+        indexed.append((i, str(wanted)))
+    for row in result.rows:
+        if all(i < len(row) and str(row[i]) == wanted for i, wanted in indexed):
+            return row
+    return None
+
+
+def cell(col: str, pick: str = "first", **where: object) -> Metric:
+    """Metric: the numeric value of one table cell.
+
+    The row is selected by header-named equality constraints (e.g.
+    ``cell("mean IPC", machine="R10-64", suite="SpecFP")``); *pick*
+    passes through to :func:`parse_numeric` for cells holding spans.
+    """
+
+    def _metric(result: ExperimentResult) -> float | None:
+        row = _find_row(result, where)
+        i = _column_index(result, col)
+        if row is None or i is None or i >= len(row):
+            return None
+        return parse_numeric(row[i], pick=pick)
+
+    return _metric
+
+
+def cell_ratio(numerator: Metric, denominator: Metric) -> Metric:
+    """Metric: ratio of two other metrics (speedups, relative gains)."""
+
+    def _metric(result: ExperimentResult) -> float | None:
+        num = numerator(result)
+        den = denominator(result)
+        if num is None or den is None or den == 0:
+            return None
+        return num / den
+
+    return _metric
+
+
+def row_span_ratio(label: object, label_col: int = 0) -> Metric:
+    """Metric: last/first numeric cell of the labelled row.
+
+    The end-to-end gain across a sweep row — e.g. how much IPC the
+    MEM-400 configuration recovers from the smallest to the largest
+    window — robust to the differing column counts across scales.
+    """
+
+    def _metric(result: ExperimentResult) -> float | None:
+        for row in result.rows:
+            if str(row[label_col]) != str(label):
+                continue
+            numbers = [float(c) for i, c in enumerate(row) if i != label_col and _is_number(c)]
+            if len(numbers) >= 2 and numbers[0]:
+                return numbers[-1] / numbers[0]
+        return None
+
+    return _metric
+
+
+def max_row_ratio(num_col: str, den_col: str) -> Metric:
+    """Metric: the worst per-row *num_col*/*den_col* ratio.
+
+    Used by the occupancy figures: each benchmark's live registers over
+    its live instructions, which the paper argues stays below one — a
+    per-row comparison, so one benchmark cannot hide behind another's
+    larger peak.  Rows with a zero/missing denominator are skipped.
+    """
+
+    def _metric(result: ExperimentResult) -> float | None:
+        ni = _column_index(result, num_col)
+        di = _column_index(result, den_col)
+        if ni is None or di is None:
+            return None
+        ratios = []
+        for row in result.rows:
+            if ni >= len(row) or di >= len(row):
+                continue
+            num = parse_numeric(row[ni])
+            den = parse_numeric(row[di])
+            if num is None or den is None or den == 0:
+                continue
+            ratios.append(num / den)
+        return max(ratios) if ratios else None
+
+    return _metric
+
+
+def row_count() -> Metric:
+    """Metric: the number of table rows (structural checks)."""
+    return lambda result: float(len(result.rows))
+
+
+# ----------------------------------------------------------------------
+# The spec and check records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Check:
+    """One reproduced-vs-paper comparison contributing to the verdict.
+
+    *metric* extracts the reproduced value from the result table; *paper*
+    is the paper's stated value (or bound).  *mode* selects how the two
+    compare:
+
+    - ``"match"`` — relative error against *paper* within ``pass_rel``
+      passes, within ``warn_rel`` is within-tolerance, else deviates;
+    - ``"at_least"`` / ``"at_most"`` — one-sided qualitative claims
+      ("recovers at least 2x", "registers never exceed instructions"),
+      where ``warn_rel`` grants the same graded slack past the bound.
+    """
+
+    label: str
+    paper: float
+    metric: Metric
+    mode: str = "match"
+    pass_rel: float = 0.15
+    warn_rel: float = 0.40
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """How one experiment renders and how it compares to the paper.
+
+    *kind* picks the renderer: ``"line"`` (uses *series* + optional
+    *reference_series*), ``"bars"`` (uses *groups* + optional
+    *reference_points*), or ``"table"`` (no chart — configuration
+    tables).  *checks* drive the verdict line; an empty tuple marks a
+    shape-only figure for which the paper states no comparable numbers.
+    """
+
+    kind: str
+    caption: str
+    x_label: str = ""
+    y_label: str = ""
+    logx: bool = False
+    series: SeriesExtractor | None = None
+    groups: GroupExtractor | None = None
+    reference_series: Mapping[str, Sequence[tuple[float, float]]] | None = None
+    reference_points: Mapping[tuple[str, str], float] | None = None
+    checks: tuple[Check, ...] = field(default=())

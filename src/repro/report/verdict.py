@@ -1,0 +1,122 @@
+"""Reproduced-vs-paper verdict evaluation.
+
+Turns a :class:`~repro.report.spec.FigureSpec`'s checks plus an
+:class:`~repro.experiments.common.ExperimentResult` into graded statuses:
+``pass`` / ``within-tolerance`` / ``deviates`` per check, the worst of
+them as the figure verdict, and ``shape-only`` for figures the paper
+states no comparable numbers for.  The report renders these as the
+verdict line under every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentResult
+from repro.report.spec import Check, FigureSpec
+from repro.viz.svg import compact_number as _fmt
+
+#: Check/figure statuses, ordered from best to worst.
+PASS = "pass"
+WITHIN = "within-tolerance"
+DEVIATES = "deviates"
+NO_DATA = "no-data"
+SHAPE_ONLY = "shape-only"
+
+_SEVERITY = {PASS: 0, SHAPE_ONLY: 0, WITHIN: 1, DEVIATES: 2, NO_DATA: 2}
+
+#: Status -> marker used in the rendered report.
+BADGES = {
+    PASS: "✅",
+    WITHIN: "🟡",
+    DEVIATES: "❌",
+    NO_DATA: "❌",
+    SHAPE_ONLY: "◽",
+}
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one :class:`~repro.report.spec.Check`."""
+
+    label: str
+    status: str
+    paper: float
+    reproduced: float | None
+    delta_rel: float | None
+    mode: str
+    note: str = ""
+
+    def describe(self) -> str:
+        """One human-readable line for the report."""
+        if self.reproduced is None:
+            return f"{self.label}: no data in this result"
+        bound = {"at_least": "≥", "at_most": "≤"}.get(self.mode)
+        paper = f"{bound} {_fmt(self.paper)}" if bound else _fmt(self.paper)
+        text = f"{self.label}: reproduced {_fmt(self.reproduced)} vs paper {paper}"
+        if self.mode == "match" and self.delta_rel is not None:
+            text += f" ({self.delta_rel:+.0%})"
+        if self.note:
+            text += f" — {self.note}"
+        return text
+
+
+@dataclass(frozen=True)
+class FigureVerdict:
+    """Aggregate verdict for one figure: worst check status plus detail."""
+
+    status: str
+    checks: tuple[CheckResult, ...]
+
+    @property
+    def badge(self) -> str:
+        """Marker character for the report and the summary table."""
+        return BADGES[self.status]
+
+
+def evaluate_check(check: Check, result: ExperimentResult) -> CheckResult:
+    """Grade one check against a result table."""
+    reproduced = check.metric(result)
+    if reproduced is None:
+        return CheckResult(
+            check.label, NO_DATA, check.paper, None, None, check.mode, check.note
+        )
+    if check.mode == "match":
+        scale = abs(check.paper) or 1.0
+        delta = (reproduced - check.paper) / scale
+        if abs(delta) <= check.pass_rel:
+            status = PASS
+        elif abs(delta) <= check.warn_rel:
+            status = WITHIN
+        else:
+            status = DEVIATES
+        return CheckResult(
+            check.label, status, check.paper, reproduced, delta, check.mode, check.note
+        )
+    if check.mode not in ("at_least", "at_most"):
+        raise ValueError(f"unknown check mode {check.mode!r}")
+    # One-sided claims: meeting the bound passes outright; the graded
+    # slack only applies on the failing side.
+    scale = abs(check.paper) or 1.0
+    if check.mode == "at_least":
+        shortfall = (check.paper - reproduced) / scale
+    else:
+        shortfall = (reproduced - check.paper) / scale
+    if shortfall <= 0:
+        status = PASS
+    elif shortfall <= check.warn_rel:
+        status = WITHIN
+    else:
+        status = DEVIATES
+    return CheckResult(
+        check.label, status, check.paper, reproduced, None, check.mode, check.note
+    )
+
+
+def evaluate(spec: FigureSpec | None, result: ExperimentResult) -> FigureVerdict:
+    """Grade every check of *spec* and fold them into a figure verdict."""
+    if spec is None or not spec.checks:
+        return FigureVerdict(SHAPE_ONLY, ())
+    results = tuple(evaluate_check(check, result) for check in spec.checks)
+    worst = max(results, key=lambda r: _SEVERITY[r.status])
+    return FigureVerdict(worst.status, results)

@@ -89,14 +89,19 @@ class ResultStore:
     # ------------------------------------------------------------------
 
     def path_for(self, key: CellKey) -> Path:
+        """Return the object path *key*'s stats live at (existing or not)."""
         return self.root / "objects" / key.digest[:2] / f"{key.digest}.json"
 
     def contains(self, key: CellKey) -> bool:
+        """Return whether an entry file exists for *key* (no validation)."""
         return self.path_for(key).exists()
 
     def get(self, key: CellKey) -> SimStats | None:
-        """The stored stats for *key*, or ``None`` (miss) if absent,
-        unreadable, tampered with, or written under a different schema."""
+        """Return the stored stats for *key*, or ``None`` on a miss.
+
+        Absent, unreadable, tampered-with and schema-stale entries all
+        read as misses — the caller recomputes rather than crashes.
+        """
         path = self.path_for(key)
         try:
             with open(path, encoding="utf-8") as handle:
@@ -196,9 +201,11 @@ class ResultStore:
         }
 
     def prune(self, everything: bool = False) -> int:
-        """Delete corrupt and schema-stale entries (all of them when
-        *everything*); returns the number of files removed.  Also sweeps
-        temp files orphaned by writes that were killed mid-flight."""
+        """Delete corrupt and schema-stale entries; return the count removed.
+
+        With *everything* set, delete every entry.  Temp files orphaned
+        by writes that were killed mid-flight are swept either way.
+        """
         removed = 0
         for path, entry in self.iter_entries():
             stale = (

@@ -1,5 +1,19 @@
-"""ASCII visualization used by the experiment harnesses and examples."""
+"""Dependency-free visualization for the experiment harnesses.
+
+Two renderer families share the same data shapes: :mod:`repro.viz.ascii`
+draws in any terminal (and in CI logs), while :mod:`repro.viz.svg`
+produces standalone SVG fragments for the reproduction report.
+"""
 
 from repro.viz.ascii import bar_chart, histogram_chart, line_chart, table
+from repro.viz.svg import compact_number, grouped_bar_chart_svg, line_chart_svg
 
-__all__ = ["bar_chart", "histogram_chart", "line_chart", "table"]
+__all__ = [
+    "bar_chart",
+    "compact_number",
+    "grouped_bar_chart_svg",
+    "histogram_chart",
+    "line_chart",
+    "line_chart_svg",
+    "table",
+]

@@ -70,10 +70,10 @@ def line_chart(
     if not points:
         return title or ""
 
-    def tx(x: float) -> float:
+    def _tx(x: float) -> float:
         return math.log2(x) if logx else x
 
-    xs = [tx(x) for x, _ in points]
+    xs = [_tx(x) for x, _ in points]
     ys = [y for _, y in points]
     x_lo, x_hi = min(xs), max(xs)
     y_lo, y_hi = min(0.0, min(ys)), max(ys)
@@ -85,7 +85,7 @@ def line_chart(
     for (name, pts), marker in zip(series.items(), markers * 3):
         legend.append(f"{marker} = {name}")
         for x, y in pts:
-            col = round((tx(x) - x_lo) / x_span * (width - 1))
+            col = round((_tx(x) - x_lo) / x_span * (width - 1))
             row = height - 1 - round((y - y_lo) / y_span * (height - 1))
             grid[row][col] = marker
     lines = [title] if title else []

@@ -1,0 +1,121 @@
+"""Report assembly: Markdown structure, embedded SVG, CLI surface."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments import cli
+from repro.report.build import build_report, markdown_table
+
+
+def test_markdown_table_escapes_pipes_and_formats_floats():
+    text = markdown_table(["a", "b"], [["x|y", 1.2345]])
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert "x\\|y" in lines[2] and "1.234" in lines[2]
+
+
+def _extract_svgs(document):
+    return re.findall(r"<svg.*?</svg>", document, flags=re.DOTALL)
+
+
+@pytest.mark.slow
+def test_build_report_single_experiment_structure(tmp_path):
+    from repro.store import ResultStore
+
+    store = ResultStore(tmp_path / "cells")
+    document = build_report(["table1", "fig13"], "quick", store=store)
+    # Standalone: every figure is inline SVG, no external references.
+    svgs = _extract_svgs(document)
+    assert len(svgs) == 1  # table1 is chartless; fig13 renders bars
+    for svg in svgs:
+        ET.fromstring(svg)
+    assert "http" not in document.replace("http://www.w3.org/2000/svg", "")
+    # Each section carries a verdict line; the summary indexes both.
+    assert document.count("**Verdict:**") == 2
+    assert "| `table1` | Table 1 |" in document
+    assert "| `fig13` | Figure 13 |" in document
+    # The caveat and regeneration instructions are present.
+    assert "Quick-scale caveat" in document
+    assert "make reproduce" in document
+
+
+@pytest.mark.slow
+def test_build_report_uses_store_cells(tmp_path):
+    from repro.store import ResultStore
+
+    store = ResultStore(tmp_path / "cells")
+    build_report(["fig13"], "quick", store=store)
+    assert store.writes > 0
+    warm = ResultStore(tmp_path / "cells")
+    build_report(["fig13"], "quick", store=warm)
+    assert warm.writes == 0 and warm.hits > 0
+
+
+def test_build_report_rejects_unknown_experiment():
+    with pytest.raises(ValueError):
+        build_report(["fig99"], "quick")
+
+
+@pytest.mark.slow
+def test_cli_report_subcommand_writes_document(tmp_path, capsys):
+    out = tmp_path / "R.md"
+    code = cli.main(
+        [
+            "report",
+            "table1",
+            "fig13",
+            "--scale",
+            "quick",
+            "--store",
+            str(tmp_path / "cells"),
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    document = out.read_text(encoding="utf-8")
+    assert document.count("## `") >= 2
+    assert "<svg" in document
+
+
+def test_cli_report_all_alias_builds_every_experiment(tmp_path, monkeypatch):
+    captured = {}
+
+    def fake_build_report(names, scale, store=None, force=False):
+        captured["names"] = names
+        return "# stub\n"
+
+    import repro.report
+
+    monkeypatch.setattr(repro.report, "build_report", fake_build_report)
+    out = tmp_path / "R.md"
+    assert cli.main(["report", "all", "--out", str(out)]) == 0
+    assert captured["names"] is None  # None = every registered experiment
+    assert out.read_text() == "# stub\n"
+
+
+@pytest.mark.slow
+def test_fig10_variants_do_not_share_a_name(tmp_path):
+    from repro.experiments.registry import get_experiment
+
+    fp = get_experiment("fig10")("quick")
+    intres = get_experiment("fig10int")("quick")
+    assert fp.name == "fig10" and intres.name == "fig10int"
+    # Distinct names mean --csv/--json exports cannot clobber each other.
+    assert fp.write_csv(str(tmp_path)) != intres.write_csv(str(tmp_path))
+
+
+def test_cli_report_unknown_experiment_exits_2(tmp_path, capsys):
+    code = cli.main(["report", "fig99", "--out", str(tmp_path / "R.md")])
+    assert code == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_list_shows_descriptions_and_paper_mapping(capsys):
+    assert cli.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert re.search(r"fig9\s+Figure 9\s+Headline IPC comparison", out)
+    assert re.search(r"ablation-timer\s+design study", out)

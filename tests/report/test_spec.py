@@ -1,0 +1,166 @@
+"""Spec extraction: parsing, series/group extractors and check metrics."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import REGISTRY
+from repro.report.spec import (
+    cell,
+    cell_ratio,
+    max_row_ratio,
+    columns_as_series,
+    long_rows_as_groups,
+    parse_axis_value,
+    parse_numeric,
+    row_count,
+    row_span_ratio,
+    rows_as_series,
+    single_series,
+    wide_rows_as_groups,
+)
+
+
+@pytest.mark.parametrize(
+    ("text", "expected"),
+    [
+        ("rob-32", 32.0),
+        ("rob-4096", 4096.0),
+        ("64KB", 64.0),
+        ("4MB", 4096.0),
+        ("INO", 1.0),
+        ("OOO-40", 40.0),
+        (128, 128.0),
+        (2.5, 2.5),
+        ("memory", None),
+        ("sweep gain", None),
+        ("CP% 64K→4M", None),
+        ("R10-256", None),  # embedded model number is not a coordinate
+    ],
+)
+def test_parse_axis_value(text, expected):
+    assert parse_axis_value(text) == expected
+
+
+@pytest.mark.parametrize(
+    ("value", "pick", "expected"),
+    [
+        (1.5, "first", 1.5),
+        ("1.55x", "first", 1.55),
+        ("67%→77%", "last", 0.77),
+        ("67%→77%", "first", 0.67),
+        ("-", "first", None),
+        (True, "first", None),
+        ("MEM-400", "first", 400.0),  # hyphen after alnum = separator
+        ("-400", "first", -400.0),    # leading minus still a sign
+    ],
+)
+def test_parse_numeric(value, pick, expected):
+    assert parse_numeric(value, pick=pick) == expected
+
+
+SWEEP = ExperimentResult(
+    name="figX",
+    title="t",
+    headers=["memory", "rob-32", "rob-128", "sweep gain"],
+    rows=[["MEM-400", 0.5, 1.5, "3.00x"], ["L1-2", 2.0, 2.0, "1.00x"]],
+)
+
+GRID = ExperimentResult(
+    name="figY",
+    title="t",
+    headers=["CP config", "MP INO", "MP OOO-40"],
+    rows=[["INO", 1.0, 1.1], ["OOO-20", 2.0, 2.2], ["OOO-80", 2.4, 2.6]],
+)
+
+LONG = ExperimentResult(
+    name="figZ",
+    title="t",
+    headers=["suite", "machine", "mean IPC"],
+    rows=[
+        ["SpecFP", "R10-64", 1.0],
+        ["SpecFP", "D-KIP-2048", 2.0],
+        ["SpecINT", "R10-64", 0.9],
+    ],
+)
+
+
+def test_rows_as_series_skips_noncoordinate_columns():
+    series = rows_as_series()(SWEEP)
+    assert series == {
+        "MEM-400": [(32.0, 0.5), (128.0, 1.5)],
+        "L1-2": [(32.0, 2.0), (128.0, 2.0)],
+    }
+
+
+def test_columns_as_series_parses_row_labels():
+    series = columns_as_series()(GRID)
+    assert series["MP INO"] == [(1.0, 1.0), (20.0, 2.0), (80.0, 2.4)]
+    assert len(series) == 2
+
+
+def test_single_series_uses_the_named_columns():
+    result = ExperimentResult(
+        name="a", title="t", headers=["timer", "rob", "ipc"],
+        rows=[[4, 16, 1.0], [8, 32, 1.2]],
+    )
+    assert single_series("s", x_col=0, y_col=2)(result) == {
+        "s": [(4.0, 1.0), (8.0, 1.2)]
+    }
+
+
+def test_long_rows_as_groups():
+    groups = long_rows_as_groups(0, 1, 2)(LONG)
+    assert groups["SpecFP"] == {"R10-64": 1.0, "D-KIP-2048": 2.0}
+    assert groups["SpecINT"] == {"R10-64": 0.9}
+
+
+def test_wide_rows_as_groups():
+    result = ExperimentResult(
+        name="b", title="t", headers=["bench", "instr", "regs"],
+        rows=[["mcf", 158, 79], ["gcc", 116, 47]],
+    )
+    groups = wide_rows_as_groups(0, {"instructions": 1, "registers": 2})(result)
+    assert groups["mcf"] == {"instructions": 158.0, "registers": 79.0}
+
+
+def test_cell_and_cell_ratio():
+    ipc = cell("mean IPC", suite="SpecFP", machine="D-KIP-2048")
+    assert ipc(LONG) == 2.0
+    speedup = cell_ratio(
+        ipc, cell("mean IPC", suite="SpecFP", machine="R10-64")
+    )
+    assert speedup(LONG) == 2.0
+    assert cell("mean IPC", suite="SpecFP", machine="nope")(LONG) is None
+    assert cell("missing col", suite="SpecFP")(LONG) is None
+
+
+def test_row_span_ratio_ignores_non_numeric_cells():
+    assert row_span_ratio("MEM-400")(SWEEP) == 3.0
+    assert row_span_ratio("absent")(SWEEP) is None
+
+
+def test_max_row_ratio_is_per_row_worst_case():
+    result = ExperimentResult(
+        name="c", title="t", headers=["bench", "max instructions", "max registers"],
+        rows=[["mcf", 158, 79], ["gcc", 20, 35], ["eon", 0, 0]],
+    )
+    # gcc violates the claim (35/20) even though mcf has the larger peaks;
+    # the zero-instruction row is skipped rather than dividing by zero.
+    assert max_row_ratio("max registers", "max instructions")(result) == 35 / 20
+    assert max_row_ratio("max registers", "missing")(result) is None
+
+
+def test_row_count():
+    assert row_count()(LONG) == 3.0
+
+
+def test_every_registered_experiment_has_a_spec_and_paper_mapping():
+    for name, info in REGISTRY.items():
+        assert info.description, name
+        assert info.paper, name
+        assert info.spec is not None, name
+        assert info.spec.kind in ("line", "bars", "table"), name
+        if info.spec.kind == "line":
+            assert info.spec.series is not None, name
+        if info.spec.kind == "bars":
+            assert info.spec.groups is not None, name

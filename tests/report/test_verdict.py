@@ -1,0 +1,79 @@
+"""Verdict grading: match/at_least/at_most modes and aggregation."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.report.spec import Check, FigureSpec
+from repro.report.verdict import (
+    DEVIATES,
+    NO_DATA,
+    PASS,
+    SHAPE_ONLY,
+    WITHIN,
+    evaluate,
+    evaluate_check,
+)
+
+RESULT = ExperimentResult(name="x", title="t", headers=["h"], rows=[[1]])
+
+
+def _check(paper, value, mode="match", **kw):
+    return Check("c", paper, lambda result: value, mode=mode, **kw)
+
+
+@pytest.mark.parametrize(
+    ("paper", "value", "status"),
+    [
+        (1.0, 1.0, PASS),
+        (1.0, 1.14, PASS),       # within ±15%
+        (1.0, 1.30, WITHIN),     # within ±40%
+        (1.0, 1.80, DEVIATES),
+        (1.0, 0.55, DEVIATES),
+        (1.0, None, NO_DATA),
+    ],
+)
+def test_match_mode_grades_by_relative_error(paper, value, status):
+    assert evaluate_check(_check(paper, value), RESULT).status == status
+
+
+def test_at_least_passes_on_or_above_the_bound():
+    assert evaluate_check(_check(2.0, 5.0, "at_least"), RESULT).status == PASS
+    assert evaluate_check(_check(2.0, 2.0, "at_least"), RESULT).status == PASS
+    # Falling short by less than warn_rel is within-tolerance.
+    assert evaluate_check(_check(2.0, 1.5, "at_least"), RESULT).status == WITHIN
+    assert evaluate_check(_check(2.0, 0.5, "at_least"), RESULT).status == DEVIATES
+
+
+def test_at_most_mirrors_at_least():
+    assert evaluate_check(_check(1.0, 0.5, "at_most"), RESULT).status == PASS
+    assert evaluate_check(_check(1.0, 1.2, "at_most"), RESULT).status == WITHIN
+    assert evaluate_check(_check(1.0, 2.5, "at_most"), RESULT).status == DEVIATES
+
+
+def test_unknown_mode_raises():
+    with pytest.raises(ValueError):
+        evaluate_check(_check(1.0, 1.0, "exactly"), RESULT)
+
+
+def test_figure_verdict_is_worst_check():
+    spec = FigureSpec(
+        kind="table",
+        caption="c",
+        checks=(_check(1.0, 1.0), _check(1.0, 1.3), _check(1.0, 1.0)),
+    )
+    verdict = evaluate(spec, RESULT)
+    assert verdict.status == WITHIN
+    assert len(verdict.checks) == 3
+
+
+def test_no_checks_means_shape_only():
+    assert evaluate(FigureSpec(kind="line", caption="c"), RESULT).status == SHAPE_ONLY
+    assert evaluate(None, RESULT).status == SHAPE_ONLY
+
+
+def test_describe_mentions_values_and_note():
+    check = Check("ipc ratio", 2.0, lambda r: 1.9, note="why it matters")
+    text = evaluate_check(check, RESULT).describe()
+    assert "1.9" in text and "2" in text and "why it matters" in text
+    missing = Check("gone", 2.0, lambda r: None)
+    assert "no data" in evaluate_check(missing, RESULT).describe()

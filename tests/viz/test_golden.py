@@ -1,0 +1,64 @@
+"""Golden-file tests: the renderers' exact output is part of the contract.
+
+The reproduction report embeds renderer output verbatim, so formatting
+drift is user-visible.  These tests pin small, representative charts;
+after an intentional renderer change regenerate with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/viz/test_golden.py
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.viz import bar_chart, grouped_bar_chart_svg, line_chart_svg, table
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+CASES = {
+    "table_basic.txt": lambda: table(
+        ["machine", "mean IPC", "speedup"],
+        [["R10-64", 1.19, "1.00x"], ["D-KIP-2048", 2.37, "1.99x"]],
+        title="fig9: headline comparison",
+    ),
+    "bar_basic.txt": lambda: bar_chart(
+        {"swim": 2.061, "mcf": 0.05, "gcc": 1.4},
+        width=30,
+        title="IPC per benchmark",
+    ),
+    "line_svg_basic.svg": lambda: line_chart_svg(
+        {
+            "MEM-400": [(32, 0.57), (128, 1.08), (1024, 2.50), (4096, 3.06)],
+            "L1-2": [(32, 3.98), (4096, 3.98)],
+        },
+        title="fig2: IPC vs window size",
+        x_label="ROB entries",
+        y_label="mean IPC",
+        logx=True,
+        reference={"MEM-400": [(32, 0.5), (4096, 3.2)]},
+    ),
+    "bars_svg_basic.svg": lambda: grouped_bar_chart_svg(
+        {
+            "SpecINT": {"R10-64": 1.19, "D-KIP-2048": 1.33},
+            "SpecFP": {"R10-64": 1.26, "D-KIP-2048": 2.37},
+        },
+        title="fig9: mean IPC by machine",
+        y_label="mean IPC",
+        reference={("SpecFP", "D-KIP-2048"): 2.37},
+    ),
+}
+
+
+@pytest.mark.parametrize("filename", sorted(CASES))
+def test_golden(filename):
+    rendered = CASES[filename]()
+    path = GOLDEN_DIR / filename
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered + "\n", encoding="utf-8")
+    expected = path.read_text(encoding="utf-8")
+    assert rendered + "\n" == expected, (
+        f"{filename} drifted; regenerate with REPRO_UPDATE_GOLDEN=1 if "
+        "the change is intentional"
+    )
