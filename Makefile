@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce
+.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -27,6 +27,17 @@ bench-smoke:
 # Refresh the committed baseline after an intentional performance change.
 bench-baseline:
 	$(PYTHON) benchmarks/compare.py --update
+
+# The scenario engine end to end: a tiny ad-hoc machine grid, cold then
+# warm against .sweep-store (the warm run simulates zero cells).  The
+# same check gates in CI.
+sweep-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments sweep \
+	  --machines "r10(rob=32),dkip(llib=4096)" --workloads "mcf,swim" \
+	  --scale quick --store .sweep-store
+	PYTHONPATH=src $(PYTHON) -m repro.experiments sweep \
+	  --machines "r10(rob=32),dkip(llib=4096)" --workloads "mcf,swim" \
+	  --scale quick --store .sweep-store | grep ", 0 simulated"
 
 # Regenerate every paper table/figure at quick scale.
 experiments:

@@ -28,7 +28,15 @@ from typing import Iterable
 from repro.branch.base import BranchPredictor
 from repro.isa import DEFAULT_LATENCIES, Instruction, LatencyTable, OpClass
 from repro.isa.registers import NUM_REGS
+from repro.machines.params import (
+    parse_count,
+    parse_count_or_inf,
+    parse_flag,
+    reject_unknown,
+)
+from repro.machines.registry import MachineKind, register_machine
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.config import LimitMachine
 from repro.sim.stats import Histogram, SimStats
 
 
@@ -56,6 +64,7 @@ def simulate_limit(
     latencies: LatencyTable = DEFAULT_LATENCIES,
     histogram_bin: int = 25,
     record_histogram: bool = True,
+    stats: SimStats | None = None,
 ) -> LimitResult:
     """Run the idealized core over *trace*.
 
@@ -67,8 +76,12 @@ def simulate_limit(
             accounting; the window sweeps of Figures 1/2 only consume IPC,
             and the histogram is the hottest non-essential work in the
             pass.
+        stats: Record into this (pre-named) stats object instead of a
+            fresh one — how :class:`LimitCore` threads the runner-created
+            stats through.
     """
-    stats = SimStats(config=f"limit-{rob_size or 'inf'}")
+    if stats is None:
+        stats = SimStats(config=f"limit-{rob_size or 'inf'}")
     histogram = Histogram(bin_width=histogram_bin, max_value=4000)
     histogram_add = histogram.add if record_histogram else None
     hierarchy_access = hierarchy.access
@@ -186,3 +199,83 @@ def issue_distance_histogram(
         histogram_bin=histogram_bin,
     )
     return result.issue_distance
+
+
+class LimitCore:
+    """Registry adapter giving the one-pass limit study the ``core.run()``
+    surface of the cycle-level machines.
+
+    The idealized machine computes every instruction's timing directly,
+    so ``max_cycles`` and ``fast_forward`` are accepted for interface
+    compatibility and ignored: the pass cannot deadlock and is already
+    O(n).
+    """
+
+    def __init__(
+        self,
+        trace: Iterable[Instruction],
+        config: LimitMachine,
+        hierarchy: MemoryHierarchy,
+        predictor: BranchPredictor,
+        stats: SimStats | None = None,
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.stats = stats if stats is not None else SimStats(config=config.name)
+
+    def run(
+        self,
+        num_instructions: int,
+        max_cycles: int | None = None,
+        fast_forward: bool | None = None,
+    ) -> SimStats:
+        """Consume the trace through :func:`simulate_limit`."""
+        result = simulate_limit(
+            self.trace,
+            self.hierarchy,
+            rob_size=self.config.rob_size,
+            predictor=self.predictor,
+            width=self.config.width,
+            redirect_penalty=self.config.redirect_penalty,
+            record_histogram=self.config.record_histogram,
+            stats=self.stats,
+        )
+        return result.stats
+
+
+# ----------------------------------------------------------------------
+# Machine-kind registration (spec grammar lives in repro.machines)
+# ----------------------------------------------------------------------
+
+LIMIT_GRAMMAR = (
+    "limit(rob=N|inf, predictor=NAME, width=N, redirect=N, histogram=on|off)"
+)
+_LIMIT_KEYS = frozenset({"rob", "predictor", "width", "redirect", "histogram"})
+
+
+def _parse_limit(params: dict[str, str]) -> LimitMachine:
+    """Spec params -> LimitMachine; bare ``limit`` is the unlimited ROB."""
+    reject_unknown("limit", params, _LIMIT_KEYS, LIMIT_GRAMMAR)
+    return LimitMachine(
+        rob_size=parse_count_or_inf("limit", "rob", params.get("rob", "inf")),
+        predictor=params.get("predictor", "perceptron"),
+        width=parse_count("limit", "width", params.get("width", "4")),
+        redirect_penalty=parse_count("limit", "redirect", params.get("redirect", "5")),
+        record_histogram=parse_flag("limit", "histogram", params.get("histogram", "on")),
+    )
+
+
+register_machine(
+    MachineKind(
+        name="limit",
+        config_cls=LimitMachine,
+        build=lambda config, trace, hierarchy, predictor, stats=None: LimitCore(
+            trace, config, hierarchy, predictor, stats
+        ),
+        parse=_parse_limit,
+        description="Idealized ROB-only limit core (Figures 1-3)",
+        grammar=LIMIT_GRAMMAR,
+    )
+)

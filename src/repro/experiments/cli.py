@@ -9,6 +9,12 @@ Usage::
     dkip-experiments report --store .repro-store   # build REPRODUCTION.md
     dkip-experiments cache stats                   # inspect the store
     dkip-experiments cache verify --sample 3       # catch stale caches
+    dkip-experiments machines                      # kinds, grammar, presets
+    dkip-experiments sweep fig9                    # a named sweep preset
+    dkip-experiments sweep scenario.toml           # a declarative file
+    dkip-experiments sweep --machines "dkip(llib=8192),R10-256" \
+        --memory "MEM-400,mem(lat=800)" --workloads "mcf,swim" \
+        --svg sweep.svg                            # an ad-hoc grid
     dkip-experiments --list
 
 The result store (``--store DIR``, or the ``REPRO_STORE`` environment
@@ -47,7 +53,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=["all"],
         help="experiment names (e.g. fig9 fig12), 'all', 'report "
-        "[names...]', or 'cache <cmd>'",
+        "[names...]', 'cache <cmd>', 'machines', or 'sweep "
+        "[preset|file.toml ...]'",
     )
     parser.add_argument(
         "--scale",
@@ -106,6 +113,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
+    )
+    sweep = parser.add_argument_group(
+        "sweep", "ad-hoc grid sweeps over the declarative machine layer"
+    )
+    sweep.add_argument(
+        "--machines",
+        action="append",
+        metavar="SPECS",
+        default=None,
+        help="comma-separated machine specs or preset names, e.g. "
+        '"R10-64,dkip(llib=8192)" (repeatable)',
+    )
+    sweep.add_argument(
+        "--memory",
+        action="append",
+        metavar="SPECS",
+        default=None,
+        help="comma-separated memory specs: Table-1 names, 'default', or "
+        'mem(...) grammar, e.g. "MEM-400,mem(lat=800)" (repeatable)',
+    )
+    sweep.add_argument(
+        "--workloads",
+        action="append",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated suite tokens (int, fp, all) and/or "
+        "benchmark names (repeatable; default: int)",
+    )
+    sweep.add_argument(
+        "--axes",
+        action="append",
+        metavar="KEY=V1,V2,...",
+        default=None,
+        help="cross an extra machine parameter over the given values, "
+        'e.g. --axes "llib=1024,4096" --axes "cp=INO,OOO-40" (repeatable)',
+    )
+    sweep.add_argument(
+        "--name",
+        metavar="STR",
+        default=None,
+        help="sweep: result/experiment name (default: sweep)",
+    )
+    sweep.add_argument(
+        "--title",
+        metavar="STR",
+        default=None,
+        help="sweep: human title for the result table",
+    )
+    sweep.add_argument(
+        "--instructions",
+        type=int,
+        metavar="N",
+        default=None,
+        help="sweep: per-cell committed-instruction budget "
+        "(default: the --scale preset)",
+    )
+    sweep.add_argument(
+        "--max-cycles",
+        type=int,
+        metavar="N",
+        default=None,
+        help="sweep: deadlock-guard cycle bound forwarded to the engine",
+    )
+    sweep.add_argument(
+        "--svg",
+        metavar="PATH",
+        default=None,
+        help="sweep: also render the result chart as an SVG file",
     )
     return parser
 
@@ -169,6 +244,166 @@ def run_cache_command(args) -> int:
     return 1 if stale else 0
 
 
+def _write_result_files(result, args) -> None:
+    """Honour ``--csv``/``--json`` for one experiment result."""
+    if args.csv:
+        path = result.write_csv(args.csv)
+        print(f"[csv written to {path}]")
+        print()
+    if args.json:
+        path = result.write_json(args.json)
+        print(f"[json written to {path}]")
+        print()
+
+
+def _write_sweep_svg(path: str, result, spec) -> bool:
+    """Render *result* through *spec* into an SVG file at *path*.
+
+    Returns False (after a clean stderr message) when the path is
+    unwritable — the sweep already ran, so this must not traceback.
+    """
+    from repro.report.build import figure_svg
+
+    document = figure_svg(spec, result) if spec is not None else None
+    if document is None:
+        print(f"no chart to render for {result.name}; {path} not written",
+              file=sys.stderr)
+        return True
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(document)
+    except OSError as error:
+        print(f"cannot write svg {path}: {error}", file=sys.stderr)
+        return False
+    print(f"[svg written to {path}]")
+    return True
+
+
+def run_sweep_command(args) -> int:
+    """Dispatch ``dkip-experiments sweep [preset|file ...]`` and ad-hoc
+    ``--machines/--memory/--workloads/--axes`` grids."""
+    from repro.experiments.sweep import (
+        SweepSpec,
+        figure_spec_for,
+        get_sweep_preset,
+        run_preset,
+        run_sweep,
+    )
+    from repro.machines import SpecError, split_specs
+
+    words = args.experiments[1:]
+    scale = Scale(args.scale)
+    store = resolve_store(args)
+    runs: list[tuple[object, object]] = []  # (result, figure spec or None)
+    try:
+        if words:
+            adhoc_flags = (
+                args.machines, args.memory, args.workloads, args.axes,
+                args.name, args.title, args.instructions, args.max_cycles,
+            )
+            if any(flag is not None for flag in adhoc_flags):
+                print(
+                    "note: --machines/--memory/--workloads/--axes/--name/"
+                    "--title/--instructions/--max-cycles are ignored when "
+                    "presets or scenario files are named",
+                    file=sys.stderr,
+                )
+            for word in words:
+                if word.endswith((".toml", ".json")) or os.path.sep in word:
+                    spec = SweepSpec.from_file(word)
+                    result = run_sweep(spec, scale, store=store, force=args.force)
+                    runs.append((result, figure_spec_for(spec)))
+                    continue
+                preset = get_sweep_preset(word)
+                result = run_preset(word, scale, store=store, force=args.force)
+                registered = REGISTRY.get(result.name)
+                figure = registered.spec if registered else figure_spec_for(preset.spec)
+                runs.append((result, figure))
+        else:
+            if not args.machines:
+                print(
+                    "sweep needs --machines SPECS, a preset name, or a "
+                    "scenario file; see 'dkip-experiments machines' for "
+                    "the grammar",
+                    file=sys.stderr,
+                )
+                return 2
+            axes: dict[str, list[str]] = {}
+            for chunk in args.axes or []:
+                key, sep, values = chunk.partition("=")
+                if not sep or not key.strip() or not values.strip():
+                    print(
+                        f"malformed --axes {chunk!r}; expected KEY=V1,V2,...",
+                        file=sys.stderr,
+                    )
+                    return 2
+                axes[key.strip()] = split_specs(values)
+            spec = SweepSpec.from_mapping(
+                {
+                    "name": args.name or "sweep",
+                    "title": args.title or "",
+                    "machines": [
+                        s for chunk in args.machines for s in split_specs(chunk)
+                    ],
+                    "memory": [
+                        s for chunk in args.memory or [] for s in split_specs(chunk)
+                    ],
+                    "workloads": [
+                        s for chunk in args.workloads or [] for s in split_specs(chunk)
+                    ],
+                    "axes": axes,
+                    "instructions": args.instructions,
+                    "max_cycles": args.max_cycles,
+                }
+            )
+            result = run_sweep(spec, scale, store=store, force=args.force)
+            runs.append((result, figure_spec_for(spec)))
+    except (SpecError, ValueError, OSError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    status = 0
+    for result, figure in runs:
+        print(result.render())
+        print()
+        _write_result_files(result, args)
+        if args.svg:
+            path = args.svg
+            if len(runs) > 1:
+                root, suffix = os.path.splitext(path)
+                path = f"{root}-{result.name}{suffix}"
+            if not _write_sweep_svg(path, result, figure):
+                status = 2
+    if store is not None:
+        print(
+            f"store {store.root}: {store.hits} cells cached, "
+            f"{store.writes} simulated"
+        )
+    return status
+
+
+def run_machines_command(args) -> int:
+    """Dispatch ``dkip-experiments machines``: kinds, grammar, presets."""
+    from repro.experiments.sweep import SWEEP_PRESETS
+    from repro.machines import MEMORY_GRAMMAR, PRESETS, machine_kinds
+
+    print("machine kinds — spec grammar: KIND(key=value,...) or bare KIND")
+    for kind in machine_kinds().values():
+        print(f"  {kind.name:<10s}{kind.description}")
+        print(f"  {'':<10s}{kind.grammar}")
+    print()
+    print("named presets (paper provenance):")
+    for preset in PRESETS.values():
+        print(f"  {preset.name:<14s}{preset.spec:<24s}{preset.provenance}")
+    print()
+    print("sweep presets (dkip-experiments sweep <name>):")
+    for sweep_preset in SWEEP_PRESETS.values():
+        print(f"  {sweep_preset.name:<14s}{sweep_preset.description}")
+    print()
+    print("memory spec grammar:")
+    print(f"  {MEMORY_GRAMMAR}")
+    return 0
+
+
 def run_report_command(args) -> int:
     """Dispatch ``dkip-experiments report [names...]``."""
     from repro.report import build_report
@@ -214,6 +449,10 @@ def main(argv: list[str] | None = None) -> int:
         return run_cache_command(args)
     if names and names[0] == "report":
         return run_report_command(args)
+    if names and names[0] == "sweep":
+        return run_sweep_command(args)
+    if names and names[0] == "machines":
+        return run_machines_command(args)
     if "all" in names:
         names = list(EXPERIMENTS)
     scale = Scale(args.scale)

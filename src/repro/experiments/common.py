@@ -28,10 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.baselines.limit import simulate_limit
-from repro.branch import make_predictor
 from repro.memory import DEFAULT_MEMORY, MemoryConfig, MemoryHierarchy, warm_caches
-from repro.sim.config import LimitMachine
 from repro.sim.runner import MachineConfig, run_core, simulate
 from repro.sim.stats import SimStats
 from repro.store import CellKey, ResultStore, cell_key, from_jsonable
@@ -166,21 +163,27 @@ def _worker_workload(name: str, seed: int):
 
 
 def _run_pair(task) -> SimStats:
-    """Pool worker: simulate one (config, workload) pair.
+    """Pool worker: simulate one (config, workload, memory) cell.
 
     Module-level (picklable) and self-contained: the workload is rebuilt
     from its name and seed inside the worker, so only small config objects
     (plus, optionally, a pre-warmed cache snapshot) cross the process
     boundary.
     """
-    config, name, num_instructions, memory, seed, snapshot = task
+    config, name, num_instructions, memory, seed, snapshot, max_cycles = task
     workload = _worker_workload(name, seed)
     if snapshot is None:
-        return run_core(config, workload, num_instructions, memory=memory)
+        return run_core(
+            config, workload, num_instructions, memory=memory, max_cycles=max_cycles
+        )
     hierarchy = MemoryHierarchy(memory)
     hierarchy.restore(snapshot)
     stats = simulate(
-        config, workload.trace(num_instructions), memory=memory, hierarchy=hierarchy
+        config,
+        workload.trace(num_instructions),
+        memory=memory,
+        hierarchy=hierarchy,
+        max_cycles=max_cycles,
     )
     stats.workload = workload.name
     return stats
@@ -200,6 +203,7 @@ def _make_task(
     pool: WorkloadPool,
     memory: MemoryConfig,
     warm_cache: WarmupCache | None,
+    max_cycles: int | None,
 ) -> tuple:
     """One pool-worker task tuple, warming the shared snapshot up front."""
     return (
@@ -209,29 +213,32 @@ def _make_task(
         memory,
         pool.seed,
         None if warm_cache is None else warm_cache.snapshot_for(memory, pool.get(name)),
+        max_cycles,
     )
 
 
-def _run_grid(
-    grid: Sequence[tuple[MachineConfig, str]],
+def run_cells(
+    cells: Sequence[tuple[MachineConfig, str, MemoryConfig]],
     num_instructions: int,
     pool: WorkloadPool,
-    memory: MemoryConfig,
-    jobs: int | None,
-    warm_cache: WarmupCache | None,
-    store: ResultStore | None,
-    force: bool,
+    jobs: int | None = None,
+    warm_cache: WarmupCache | None = None,
+    store: ResultStore | None = None,
+    force: bool = False,
+    max_cycles: int | None = None,
 ) -> list[SimStats]:
-    """Run every (config, benchmark) cell, store-first, in grid order.
+    """Run every (config, benchmark, memory) cell, store-first, in order.
 
+    The fully general grid runner — machines of any registered kind
+    (including the limit core) and a different memory system per cell.
     Cached cells never dispatch; missing cells run serially or on the
     pool and persist to *store* as each one completes — that per-cell
     write-back is what makes a killed sweep resumable.
     """
-    results: list[SimStats | None] = [None] * len(grid)
-    keys: list[CellKey | None] = [None] * len(grid)
+    results: list[SimStats | None] = [None] * len(cells)
+    keys: list[CellKey | None] = [None] * len(cells)
     if store is not None:
-        for i, (config, name) in enumerate(grid):
+        for i, (config, name, memory) in enumerate(cells):
             keys[i] = cell_key(config, pool.get(name), num_instructions, memory)
             if not force:
                 results[i] = store.get(keys[i])
@@ -241,13 +248,14 @@ def _run_grid(
     jobs = resolve_jobs(jobs, len(pending))
     if jobs <= 1:
         for i in pending:
-            config, name = grid[i]
+            config, name, memory = cells[i]
             stats = run_core(
                 config,
                 pool.get(name),
                 num_instructions,
                 memory=memory,
                 warm_cache=warm_cache,
+                max_cycles=max_cycles,
             )
             if store is not None:
                 store.put(keys[i], stats)
@@ -259,7 +267,13 @@ def _run_grid(
         (
             i,
             _make_task(
-                grid[i][0], grid[i][1], num_instructions, pool, memory, warm_cache
+                cells[i][0],
+                cells[i][1],
+                num_instructions,
+                pool,
+                cells[i][2],
+                warm_cache,
+                max_cycles,
             ),
         )
         for i in pending
@@ -282,12 +296,13 @@ def run_suite(
     warm_cache: WarmupCache | None = None,
     store: ResultStore | None = None,
     force: bool = False,
+    max_cycles: int | None = None,
 ) -> list[SimStats]:
     """Simulate every named benchmark on *config*; returns per-run stats
     in the order of *names* regardless of worker scheduling."""
-    grid = [(config, name) for name in names]
-    return _run_grid(
-        grid, num_instructions, pool, memory, jobs, warm_cache, store, force
+    cells = [(config, name, memory) for name in names]
+    return run_cells(
+        cells, num_instructions, pool, jobs, warm_cache, store, force, max_cycles
     )
 
 
@@ -301,6 +316,7 @@ def run_many(
     warm_cache: WarmupCache | None = None,
     store: ResultStore | None = None,
     force: bool = False,
+    max_cycles: int | None = None,
 ) -> list[list[SimStats]]:
     """Fan the full (config x workload) grid out over one process pool.
 
@@ -308,9 +324,9 @@ def run_many(
     the same shape as calling :func:`run_suite` once per config, but with
     every pair in flight at once.
     """
-    grid = [(config, name) for config in configs for name in names]
-    flat = _run_grid(
-        grid, num_instructions, pool, memory, jobs, warm_cache, store, force
+    cells = [(config, name, memory) for config in configs for name in names]
+    flat = run_cells(
+        cells, num_instructions, pool, jobs, warm_cache, store, force, max_cycles
     )
     stride = len(names)
     return [flat[i * stride : (i + 1) * stride] for i in range(len(configs))]
@@ -361,8 +377,8 @@ def run_core_cached(
     )
 
 
-def run_limit_cell(
-    machine: LimitMachine,
+def run_snapshot_cell(
+    machine: MachineConfig,
     workload,
     num_instructions: int,
     memory: MemoryConfig = DEFAULT_MEMORY,
@@ -370,11 +386,13 @@ def run_limit_cell(
     store: ResultStore | None = None,
     force: bool = False,
 ) -> SimStats:
-    """One idealized-core cell (Figures 1-3), store-aware.
+    """One store-aware cell with an externally shared warm-up snapshot.
 
-    *snapshot_factory*, when given, supplies a warmed-hierarchy snapshot
-    (typically shared across a window sweep); it is only invoked on a
-    store miss, so fully cached benchmarks skip warm-up entirely.
+    Works for any registered machine kind (Figures 1-3 use it for the
+    limit core).  *snapshot_factory*, when given, supplies a
+    warmed-hierarchy snapshot (typically shared across a window sweep);
+    it is only invoked on a store miss, so fully cached benchmarks skip
+    warm-up entirely.
     """
     def compute() -> SimStats:
         trace = workload.trace(num_instructions)
@@ -383,18 +401,8 @@ def run_limit_cell(
             hierarchy.restore(snapshot_factory())
         else:
             warm_caches(hierarchy, workload.regions)
-        sim = simulate_limit(
-            iter(trace),
-            hierarchy,
-            rob_size=machine.rob_size,
-            predictor=make_predictor(machine.predictor),
-            width=machine.width,
-            redirect_penalty=machine.redirect_penalty,
-            record_histogram=machine.record_histogram,
-        )
-        stats = sim.stats
+        stats = simulate(machine, trace, memory=memory, hierarchy=hierarchy)
         stats.workload = workload.name
-        stats.config = machine.name
         return stats
 
     key = None
@@ -410,6 +418,8 @@ def compute_cell(payload: dict) -> SimStats:
     form, re-materializes the workload, and replays the exact execution
     path the sweeps use, so the result must match the stored stats bit
     for bit unless simulator behaviour drifted under the fingerprint.
+    Machine construction goes through the kind registry, so limit cells
+    and cycle-level cells replay through one path.
     """
     machine = from_jsonable(payload["machine"])
     memory = from_jsonable(payload["memory"])
@@ -421,16 +431,13 @@ def compute_cell(payload: dict) -> SimStats:
             "cell was stored (trace generator updated?)"
         )
     num_instructions = payload["instructions"]
-    if isinstance(machine, LimitMachine):
-        return run_limit_cell(machine, workload, num_instructions, memory)
-    stats = run_core(
+    return run_core(
         machine,
         workload,
         num_instructions,
         memory=memory,
         predictor_name=payload.get("predictor"),
     )
-    return stats
 
 
 def mean_ipc(stats: Sequence[SimStats]) -> float:

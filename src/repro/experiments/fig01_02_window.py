@@ -19,7 +19,7 @@ from repro.experiments.common import (
     Scale,
     Stopwatch,
     WorkloadPool,
-    run_limit_cell,
+    run_snapshot_cell,
     scale_of,
     suite_names,
 )
@@ -80,7 +80,7 @@ def run(
 
                 for window in windows:
                     machine = LimitMachine(rob_size=window, record_histogram=False)
-                    stats = run_limit_cell(
+                    stats = run_snapshot_cell(
                         machine,
                         workload,
                         n,

@@ -3,6 +3,12 @@
 Average IPC over SpecINT and SpecFP for the four machines, all sharing the
 default memory system (Table 2/3) and 512-entry LSQs.
 
+The grid itself is a :class:`~repro.experiments.sweep.SweepSpec` over the
+four named machine presets, executed by the generic sweep engine
+(``dkip-experiments sweep fig9`` runs the same preset); only the table
+formatting — the paper's reference IPC column and speedups over R10-64 —
+is figure-specific.
+
 Paper numbers:
     SpecINT: 1.19 / 1.32 / 1.38 / 1.33
     SpecFP : 1.26 / 1.71 / 2.23 / 2.37
@@ -17,20 +23,18 @@ from __future__ import annotations
 
 from repro.experiments.common import (
     ExperimentResult,
-    INSTRUCTIONS,
     Scale,
     Stopwatch,
-    WorkloadPool,
-    mean_ipc,
-    run_many,
     scale_of,
-    suite_names,
+)
+from repro.experiments.sweep import (
+    SweepPreset,
+    SweepSpec,
+    register_sweep_preset,
+    sweep_grid,
 )
 from repro.report.spec import Check, FigureSpec, cell, cell_ratio, long_rows_as_groups
-from repro.sim.config import DKIP_2048, KILO_1024, R10_256, R10_64
 from repro.viz.ascii import bar_chart
-
-MACHINES = (R10_64, R10_256, KILO_1024, DKIP_2048)
 
 PAPER_IPC = {
     ("int", "R10-64"): 1.19,
@@ -43,30 +47,36 @@ PAPER_IPC = {
     ("fp", "D-KIP-2048"): 2.37,
 }
 
+#: The declarative grid: the four named machine presets over both suites
+#: on the default memory system.
+SWEEP = SweepSpec(
+    name="fig9",
+    title="Performance of the D-KIP compared to baselines and a "
+    "traditional KILO processor",
+    machines=("R10-64", "R10-256", "KILO-1024", "D-KIP-2048"),
+    workloads=("int", "fp"),
+)
+
 
 def run(
     scale: Scale | str = Scale.DEFAULT, store=None, force=False
 ) -> ExperimentResult:
     scale = scale_of(scale)
-    n = INSTRUCTIONS[scale]
-    pool = WorkloadPool()
     result = ExperimentResult(
         name="fig9",
-        title="Performance of the D-KIP compared to baselines and a "
-        "traditional KILO processor",
+        title=SWEEP.title,
         headers=["suite", "machine", "mean IPC", "paper IPC", "speedup vs R10-64"],
         scale=scale,
     )
     with Stopwatch(result):
+        # One pool task per (machine, workload) pair: the whole grid —
+        # all four machines, both suites — is in flight at once.
+        grid = sweep_grid(SWEEP, scale, store=store, force=force)
         for suite in ("int", "fp"):
-            names = suite_names(suite, scale)
             base = None
             chart_data = {}
-            # One pool task per (machine, workload) pair: all four machines'
-            # suites are in flight at once instead of looping serially.
-            suite_stats = run_many(MACHINES, names, n, pool, store=store, force=force)
-            for machine, stats in zip(MACHINES, suite_stats):
-                ipc = mean_ipc(stats)
+            for index, machine in enumerate(grid.machines):
+                ipc = grid.mean_ipc(index, 0, suite)
                 if base is None:
                     base = ipc
                 chart_data[machine.name] = ipc
@@ -87,6 +97,16 @@ def run(
         "ordering KILO > D-KIP ~ R10-256 > R10-64 with compressed gaps."
     )
     return result
+
+
+register_sweep_preset(
+    SweepPreset(
+        "fig9",
+        SWEEP,
+        description="Figure 9 headline grid: four named machines x both suites",
+        runner=run,
+    )
+)
 
 
 def _speedup(suite: str, machine: str):

@@ -26,9 +26,9 @@ from repro.experiments.common import (
     scale_of,
     suite_names,
 )
+from repro.machines import parse_machine
 from repro.memory.configs import KB, MB, memory_config_for_l2_size
 from repro.report.spec import Check, FigureSpec, cell, rows_as_series
-from repro.sim.config import DKIP_2048, R10_256
 from repro.viz.ascii import line_chart
 
 SIZES_FULL = (64 * KB, 128 * KB, 256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB)
@@ -39,10 +39,10 @@ DKIP_CONFIGS = (("INO", "INO"), ("OOO-20", "INO"), ("OOO-80", "INO"), ("OOO-80",
 
 
 def _machines(scale: Scale):
-    machines = [("R10-256", R10_256)]
+    machines = [("R10-256", parse_machine("R10-256"))]
     configs = DKIP_CONFIGS if scale != Scale.QUICK else (DKIP_CONFIGS[0], DKIP_CONFIGS[-1])
     for cp, mp in configs:
-        machines.append((f"{cp}/{mp}", DKIP_2048.with_cp(cp).with_mp(mp)))
+        machines.append((f"{cp}/{mp}", parse_machine(f"dkip(cp={cp},mp={mp})")))
     return machines
 
 

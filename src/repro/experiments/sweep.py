@@ -1,0 +1,448 @@
+"""Generic grid-sweep engine over the declarative machine layer.
+
+A :class:`SweepSpec` describes any (machine × memory × workload) grid as
+data — machine and memory *spec strings* (:mod:`repro.machines`),
+workload suite tokens or benchmark names, and optional parameter *axes*
+crossed into every machine spec.  :func:`sweep_grid` runs the grid
+through the shared process pool and result store;
+:func:`run_sweep` adds generic table/chart formatting and an ad-hoc
+:class:`~repro.report.spec.FigureSpec` so any scenario renders to ASCII
+and SVG with zero new modules.
+
+The paper's own experiments ride on the same engine: fig9 and fig10 are
+registered here as :class:`SweepPreset` entries whose runners produce
+their figure-grade tables from a :func:`sweep_grid` call, so
+``dkip-experiments sweep fig9`` reproduces the figure bit-identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.experiments.common import (
+    INSTRUCTIONS,
+    ExperimentResult,
+    Scale,
+    Stopwatch,
+    WarmupCache,
+    WorkloadPool,
+    mean_ipc,
+    run_cells,
+    scale_of,
+    suite_names,
+)
+from repro.machines import (
+    SpecError,
+    apply_params,
+    load_spec_file,
+    parse_machine,
+    parse_memory,
+)
+from repro.memory.configs import MemoryConfig
+from repro.report.spec import FigureSpec
+from repro.sim.stats import SimStats
+from repro.store import ResultStore
+from repro.viz.ascii import bar_chart
+from repro.workloads import all_names
+
+
+# ----------------------------------------------------------------------
+# The declarative sweep description
+# ----------------------------------------------------------------------
+
+_SPEC_KEYS = frozenset(
+    {
+        "name", "title", "machines", "memory", "workloads", "axes",
+        "instructions", "max_cycles",
+    }
+)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One (machine × memory × workload) grid, as data.
+
+    *machines* and *memory* are spec strings or preset names
+    (:func:`repro.machines.parse_machine` / ``parse_memory``);
+    *workloads* mixes suite tokens (``"int"``, ``"fp"``, ``"all"``) and
+    individual benchmark names; *axes* crosses extra ``key=value``
+    parameters into every machine spec (the product of all axis values).
+    """
+
+    machines: tuple[str, ...]
+    name: str = "sweep"
+    title: str = ""
+    memory: tuple[str, ...] = ("default",)
+    workloads: tuple[str, ...] = ("int",)
+    axes: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    #: Committed-instruction budget; None means the scale preset.
+    instructions: int | None = None
+    #: Deadlock-guard bound forwarded to the engine (None = default).
+    max_cycles: int | None = None
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        """Build a spec from a plain mapping (scenario-file contents)."""
+        unknown = sorted(set(data) - _SPEC_KEYS)
+        if unknown:
+            raise SpecError(
+                f"unknown sweep key(s) {', '.join(unknown)}; allowed: "
+                f"{', '.join(sorted(_SPEC_KEYS))}"
+            )
+        machines = tuple(str(m) for m in _as_list(data.get("machines")))
+        if not machines:
+            raise SpecError("a sweep needs at least one machine spec")
+        axes_data = data.get("axes", {})
+        if not isinstance(axes_data, Mapping):
+            raise SpecError("sweep 'axes' must map parameter -> list of values")
+        axes = tuple(
+            (str(key), tuple(str(v) for v in _as_list(values)))
+            for key, values in axes_data.items()
+        )
+        for key, values in axes:
+            if not values:
+                raise SpecError(f"sweep axis {key!r} has no values")
+        return cls(
+            machines=machines,
+            name=str(data.get("name", "sweep")),
+            title=str(data.get("title", "")),
+            memory=tuple(str(m) for m in _as_list(data.get("memory"))) or ("default",),
+            workloads=tuple(str(w) for w in _as_list(data.get("workloads")))
+            or ("int",),
+            axes=axes,
+            instructions=_as_optional_int(data, "instructions"),
+            max_cycles=_as_optional_int(data, "max_cycles"),
+        )
+
+    @classmethod
+    def from_file(cls, path) -> "SweepSpec":
+        """Load a spec from a TOML or JSON scenario file."""
+        return cls.from_mapping(load_spec_file(path))
+
+
+def _as_list(value) -> list:
+    if value is None:
+        return []
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+def _as_optional_int(data: Mapping, key: str) -> int | None:
+    value = data.get(key)
+    if value is None:
+        return None
+    try:
+        count = int(value)
+    except (TypeError, ValueError):
+        count = None
+    if count is None or count <= 0:
+        raise SpecError(
+            f"sweep {key!r} must be a positive integer, got {value!r}"
+        )
+    return count
+
+
+# ----------------------------------------------------------------------
+# Grid expansion and execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweptMachine:
+    """One expanded grid machine: final spec string, parsed config, and
+    the axis assignment that produced it (empty for plain machines)."""
+
+    spec: str
+    config: Any
+    axes: tuple[tuple[str, str], ...] = ()
+    label: str = ""
+
+    @property
+    def name(self) -> str:
+        """The config's own name (labels fall back to the spec string
+        when two expanded machines share a name)."""
+        return getattr(self.config, "name", self.spec)
+
+
+def expand_machines(spec: SweepSpec) -> list[SweptMachine]:
+    """Cross every machine spec with the axes' value product."""
+    machines: list[SweptMachine] = []
+    axis_keys = [key for key, _ in spec.axes]
+    axis_values = [values for _, values in spec.axes]
+    for base in spec.machines:
+        if not axis_keys:
+            machines.append(SweptMachine(base, parse_machine(base)))
+            continue
+        for combo in itertools.product(*axis_values):
+            assignment = dict(zip(axis_keys, combo))
+            text = apply_params(base, assignment)
+            machines.append(
+                SweptMachine(text, parse_machine(text), tuple(assignment.items()))
+            )
+    # Disambiguate labels: configs that rename under their parameters
+    # keep their name; duplicates fall back to the full spec string.
+    names = [machine.name for machine in machines]
+    return [
+        SweptMachine(
+            m.spec,
+            m.config,
+            m.axes,
+            label=m.name if names.count(m.name) == 1 else m.spec,
+        )
+        for m in machines
+    ]
+
+
+def resolve_workloads(
+    tokens: Sequence[str], scale: Scale
+) -> dict[str, tuple[str, ...]]:
+    """Map workload tokens to benchmark-name tuples at *scale*.
+
+    ``"int"``/``"fp"`` resolve through the scale's suite subsets,
+    ``"all"`` to both; anything else must be a registered benchmark.
+    """
+    resolved: dict[str, tuple[str, ...]] = {}
+    for token in tokens:
+        text = token.strip()
+        lower = text.lower()
+        if lower in ("int", "fp"):
+            resolved[text] = suite_names(lower, scale)
+        elif lower == "all":
+            resolved[text] = suite_names("int", scale) + suite_names("fp", scale)
+        elif text in all_names():
+            resolved[text] = (text,)
+        else:
+            raise SpecError(
+                f"unknown workload {text!r}; expected int, fp, all, or one "
+                f"of: {', '.join(all_names())}"
+            )
+    return resolved
+
+
+@dataclass
+class SweepGrid:
+    """Executed grid: expanded machines, memories, and per-cell stats."""
+
+    spec: SweepSpec
+    scale: Scale
+    instructions: int
+    machines: list[SweptMachine]
+    memories: list[MemoryConfig]
+    workloads: dict[str, tuple[str, ...]]
+    benches: tuple[str, ...]
+    results: dict[tuple[int, int, str], SimStats] = field(default_factory=dict)
+
+    def stats(self, machine: int, memory: int, bench: str) -> SimStats:
+        """Stats of one cell by (machine index, memory index, benchmark)."""
+        return self.results[(machine, memory, bench)]
+
+    def suite_stats(self, machine: int, memory: int, token: str) -> list[SimStats]:
+        """Per-benchmark stats of one workload token's suite."""
+        return [self.stats(machine, memory, b) for b in self.workloads[token]]
+
+    def mean_ipc(self, machine: int, memory: int, token: str) -> float:
+        """Arithmetic-mean IPC over the token's suite (the paper's metric)."""
+        return mean_ipc(self.suite_stats(machine, memory, token))
+
+
+def sweep_grid(
+    spec: SweepSpec,
+    scale: Scale | str = Scale.DEFAULT,
+    pool: WorkloadPool | None = None,
+    store: ResultStore | None = None,
+    force: bool = False,
+    jobs: int | None = None,
+    warm_cache: WarmupCache | None = None,
+) -> SweepGrid:
+    """Execute every cell of *spec*'s grid (store-first, one process
+    pool for the whole grid) and return the indexed results."""
+    scale = scale_of(scale)
+    machines = expand_machines(spec)
+    memories = [parse_memory(m) for m in spec.memory]
+    workloads = resolve_workloads(spec.workloads, scale)
+    benches = tuple(dict.fromkeys(
+        bench for names in workloads.values() for bench in names
+    ))
+    if spec.instructions is not None and spec.instructions <= 0:
+        raise SpecError(
+            f"sweep instructions must be positive, got {spec.instructions}"
+        )
+    instructions = (
+        spec.instructions if spec.instructions is not None else INSTRUCTIONS[scale]
+    )
+    pool = pool or WorkloadPool()
+    cells = [
+        (machine.config, bench, memory)
+        for machine in machines
+        for memory in memories
+        for bench in benches
+    ]
+    flat = run_cells(
+        cells,
+        instructions,
+        pool,
+        jobs=jobs,
+        warm_cache=warm_cache,
+        store=store,
+        force=force,
+        max_cycles=spec.max_cycles,
+    )
+    grid = SweepGrid(
+        spec=spec,
+        scale=scale,
+        instructions=instructions,
+        machines=machines,
+        memories=memories,
+        workloads=workloads,
+        benches=benches,
+    )
+    index = 0
+    for mi in range(len(machines)):
+        for gi in range(len(memories)):
+            for bench in benches:
+                grid.results[(mi, gi, bench)] = flat[index]
+                index += 1
+    return grid
+
+
+# ----------------------------------------------------------------------
+# Generic formatting (tables, ASCII bars, ad-hoc FigureSpec)
+# ----------------------------------------------------------------------
+
+
+def adhoc_groups(result: ExperimentResult) -> dict[str, dict[str, float]]:
+    """Group extractor for the generic sweep table: machines as groups,
+    (memory, workloads) as series — constant columns are elided."""
+    memories = {str(row[1]) for row in result.rows}
+    tokens = {str(row[2]) for row in result.rows}
+    groups: dict[str, dict[str, float]] = {}
+    for row in result.rows:
+        parts = []
+        if len(memories) > 1:
+            parts.append(str(row[1]))
+        if len(tokens) > 1:
+            parts.append(str(row[2]))
+        series = " / ".join(parts) or "mean IPC"
+        groups.setdefault(str(row[0]), {})[series] = float(row[3])
+    return groups
+
+
+def figure_spec_for(spec: SweepSpec) -> FigureSpec:
+    """An ad-hoc bar-chart FigureSpec for a generic sweep result."""
+    return FigureSpec(
+        kind="bars",
+        caption=spec.title or f"mean IPC per machine ({spec.name})",
+        y_label="mean IPC",
+        groups=adhoc_groups,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    scale: Scale | str = Scale.DEFAULT,
+    store: ResultStore | None = None,
+    force: bool = False,
+    jobs: int | None = None,
+) -> ExperimentResult:
+    """Run *spec* and format the grid generically: one row per (machine,
+    memory, workload token) with mean/min/max IPC, plus ASCII bars."""
+    scale = scale_of(scale)
+    result = ExperimentResult(
+        name=spec.name,
+        title=spec.title or "ad-hoc machine/memory/workload sweep",
+        headers=["machine", "memory", "workloads", "mean IPC", "min IPC", "max IPC"],
+        scale=scale,
+    )
+    with Stopwatch(result):
+        grid = sweep_grid(
+            spec,
+            scale,
+            store=store,
+            force=force,
+            jobs=jobs,
+            warm_cache=WarmupCache(),
+        )
+        for mi, machine in enumerate(grid.machines):
+            for gi, memory in enumerate(grid.memories):
+                for token in grid.workloads:
+                    ipcs = [s.ipc for s in grid.suite_stats(mi, gi, token)]
+                    result.rows.append(
+                        [
+                            machine.label,
+                            memory.name,
+                            token,
+                            round(sum(ipcs) / len(ipcs), 3),
+                            round(min(ipcs), 3),
+                            round(max(ipcs), 3),
+                        ]
+                    )
+        for gi, memory in enumerate(grid.memories):
+            for token in grid.workloads:
+                data = {
+                    machine.label: grid.mean_ipc(mi, gi, token)
+                    for mi, machine in enumerate(grid.machines)
+                }
+                result.charts.append(
+                    bar_chart(data, title=f"mean IPC — {memory.name} / {token}")
+                )
+    result.notes.append(
+        f"grid: {len(grid.machines)} machine(s) x {len(grid.memories)} "
+        f"memory system(s) x {len(grid.benches)} benchmark(s), "
+        f"{grid.instructions} instructions per cell"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Named sweep presets
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPreset:
+    """A named, reusable sweep: the declarative grid plus an optional
+    figure-grade runner (paper columns, reference values, charts)."""
+
+    name: str
+    spec: SweepSpec
+    description: str = ""
+    #: ``runner(scale, store=..., force=...) -> ExperimentResult``; when
+    #: None the generic :func:`run_sweep` formatting applies.
+    runner: Callable[..., ExperimentResult] | None = None
+
+
+SWEEP_PRESETS: dict[str, SweepPreset] = {}
+
+
+def register_sweep_preset(preset: SweepPreset) -> SweepPreset:
+    """Register (or replace) a named sweep."""
+    SWEEP_PRESETS[preset.name] = preset
+    return preset
+
+
+def get_sweep_preset(name: str) -> SweepPreset:
+    """The preset registered under *name* (raises ``ValueError``)."""
+    try:
+        return SWEEP_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sweep preset {name!r}; available: "
+            f"{', '.join(sorted(SWEEP_PRESETS)) or '(none registered)'}"
+        ) from None
+
+
+def run_preset(
+    name: str,
+    scale: Scale | str = Scale.DEFAULT,
+    store: ResultStore | None = None,
+    force: bool = False,
+) -> ExperimentResult:
+    """Run a named sweep: its figure-grade runner when it has one, the
+    generic formatter otherwise."""
+    preset = get_sweep_preset(name)
+    if preset.runner is not None:
+        return preset.runner(scale, store=store, force=force)
+    return run_sweep(preset.spec, scale, store=store, force=force)

@@ -1,0 +1,102 @@
+"""Named machine presets: the paper's machine zoo as data.
+
+Each preset binds a public name (the names used in the paper's figures)
+to a config instance, the kind that builds it, the equivalent spec
+string, and the paper table/figure the parameters come from.  The spec
+string is load-bearing: sweep axes apply extra parameters by re-parsing
+it, so every preset is reachable from the spec grammar and a preset and
+its spec twin fingerprint identically (enforced by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.config import (
+    DKIP_2048,
+    KILO_1024,
+    LimitMachine,
+    R10_64,
+    R10_256,
+    RunaheadConfig,
+)
+
+
+@dataclass(frozen=True)
+class MachinePreset:
+    """One named machine with its paper provenance."""
+
+    name: str
+    config: Any
+    kind: str
+    #: Spec-grammar string that parses to exactly ``config``.
+    spec: str
+    #: Where the parameters come from in the paper.
+    provenance: str
+
+
+#: The named machines, in figure order.  Keyed by lowercase name;
+#: :func:`get_preset` resolves case-insensitively.
+PRESETS: dict[str, MachinePreset] = {
+    preset.name.lower(): preset
+    for preset in (
+        MachinePreset(
+            "R10-64",
+            R10_64,
+            "r10",
+            "r10(rob=64)",
+            "Table 2 / Figure 9 — MIPS R10000-like baseline "
+            "(64-entry ROB, 40-entry queues)",
+        ),
+        MachinePreset(
+            "R10-256",
+            R10_256,
+            "r10",
+            "r10(rob=256,iq=160)",
+            "Figure 9 — 'futuristic' R10000 (256-entry ROB, 160-entry queues)",
+        ),
+        MachinePreset(
+            "KILO-1024",
+            KILO_1024,
+            "kilo",
+            "kilo(sliq=1024)",
+            "Figure 9 / reference [9] — pseudo-ROB 64 + 1024-entry "
+            "out-of-order SLIQ",
+        ),
+        MachinePreset(
+            "D-KIP-2048",
+            DKIP_2048,
+            "dkip",
+            "dkip(llib=2048)",
+            "Tables 2-3 / Figure 9 — baseline D-KIP, two 2048-entry LLIBs",
+        ),
+        MachinePreset(
+            "limit-rob-inf",
+            LimitMachine(),
+            "limit",
+            "limit(rob=inf)",
+            "Figures 1-3 — idealized core, stalls only from the ROB "
+            "(unlimited here)",
+        ),
+        MachinePreset(
+            "runahead-64",
+            RunaheadConfig(),
+            "runahead",
+            "runahead(rob=64)",
+            "design study / reference [24] — runahead execution on the "
+            "R10-64 core",
+        ),
+    )
+}
+
+
+def get_preset(name: str) -> MachinePreset | None:
+    """The preset registered under *name* (case-insensitive), or None."""
+    return PRESETS.get(name.strip().lower())
+
+
+def register_preset(preset: MachinePreset) -> MachinePreset:
+    """Add a named machine (overwrites an existing preset of that name)."""
+    PRESETS[preset.name.lower()] = preset
+    return preset

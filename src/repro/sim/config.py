@@ -143,13 +143,27 @@ class DkipConfig(Fingerprintable):
 
 
 def _parse_queue_config(spec: str) -> tuple[SchedulerPolicy, int]:
-    """Parse the paper's queue-config notation: "INO" or "OOO-<size>"."""
-    spec = spec.upper()
-    if spec == "INO":
+    """Parse the paper's queue-config notation: "INO" or "OOO-<size>".
+
+    The size must be a strictly positive decimal integer — ``OOO-0``,
+    negative sizes and non-numeric tails are rejected with the allowed
+    grammar in the message.
+    """
+    text = spec.upper()
+    if text == "INO":
         return SchedulerPolicy.IN_ORDER, 20
-    if spec.startswith("OOO-"):
-        return SchedulerPolicy.OUT_OF_ORDER, int(spec.split("-", 1)[1])
-    raise ValueError(f"bad queue configuration {spec!r}; expected INO or OOO-<n>")
+    if text.startswith("OOO-"):
+        tail = text[len("OOO-"):]
+        if not tail.isdigit() or int(tail) <= 0:
+            raise ValueError(
+                f"bad queue size in {spec!r}; expected OOO-<positive "
+                "integer> (e.g. OOO-40) or INO"
+            )
+        return SchedulerPolicy.OUT_OF_ORDER, int(tail)
+    raise ValueError(
+        f"bad queue configuration {spec!r}; expected INO or OOO-<positive "
+        "integer> (e.g. OOO-40)"
+    )
 
 
 @dataclass(frozen=True)

@@ -8,15 +8,18 @@ state, one simulator instance per run.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Sequence
 
 from repro.branch import make_predictor
 from repro.isa import Instruction
+from repro.machines.registry import MachineDescription, build_machine
 from repro.memory import DEFAULT_MEMORY, MemoryConfig, MemoryHierarchy, warm_caches
-from repro.sim.config import CoreConfig, DkipConfig, KiloConfig, RunaheadConfig
 from repro.sim.stats import SimStats
 
-MachineConfig = Union[CoreConfig, KiloConfig, DkipConfig, RunaheadConfig]
+#: Any machine configuration whose kind is registered with
+#: :mod:`repro.machines` — the open-ended replacement for the old closed
+#: Union of the four paper models.
+MachineConfig = MachineDescription
 
 
 def build_core(
@@ -26,25 +29,9 @@ def build_core(
     predictor,
     stats: SimStats | None = None,
 ):
-    """Instantiate the simulator matching *config*'s type."""
-    # Imports are local to avoid a cycle: the cores import sim.config.
-    from repro.baselines.kilo import KiloCore
-    from repro.baselines.ooo import R10Core
-    from repro.baselines.runahead import RunaheadCore
-    from repro.core.dkip import DkipProcessor
-
-    if isinstance(config, DkipConfig):
-        return DkipProcessor(trace, config, hierarchy, predictor, stats)
-    if isinstance(config, KiloConfig):
-        return KiloCore(trace, config, hierarchy, predictor, stats)
-    if isinstance(config, RunaheadConfig):
-        return RunaheadCore(
-            trace, config.core, hierarchy, predictor, stats,
-            exit_penalty=config.exit_penalty,
-        )
-    if isinstance(config, CoreConfig):
-        return R10Core(trace, config, hierarchy, predictor, stats)
-    raise TypeError(f"unknown machine configuration type: {type(config)!r}")
+    """Instantiate the simulator for *config* via the machine-kind
+    registry (raises ``TypeError`` for unregistered config types)."""
+    return build_machine(config, trace, hierarchy, predictor, stats)
 
 
 def simulate(
@@ -93,6 +80,7 @@ def run_core(
     warmup: bool = True,
     predictor_name: str | None = None,
     warm_cache=None,
+    max_cycles: int | None = None,
 ) -> SimStats:
     """Convenience wrapper: materialize a workload trace and simulate it.
 
@@ -101,6 +89,9 @@ def run_core(
             when given (and *warmup* is on), the functional cache warm-up
             for (memory, workload) runs once and later runs restore the
             snapshot instead of re-streaming the working set.
+        max_cycles: Upper bound on simulated time (deadlock guard);
+            forwarded to the engine so long-latency sweeps can tighten
+            the default bound.
     """
     trace = workload.trace(num_instructions)
     hierarchy = None
@@ -115,6 +106,7 @@ def run_core(
         regions=regions,
         predictor_name=predictor_name,
         hierarchy=hierarchy,
+        max_cycles=max_cycles,
     )
     stats.workload = workload.name
     return stats

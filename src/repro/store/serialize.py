@@ -60,6 +60,13 @@ def from_jsonable(data: Any) -> Any:
         kind = data["__kind__"]
         cls = KINDS.get(kind)
         if cls is None:
+            # Machine kinds registered outside the built-in set (via
+            # repro.machines) round-trip through the registry's config
+            # classes; the lazy import keeps the store importable first.
+            from repro.machines.registry import config_class_named
+
+            cls = config_class_named(kind)
+        if cls is None:
             raise ValueError(f"unknown configuration kind {kind!r}")
         hints = typing.get_type_hints(cls)
         kwargs = {}

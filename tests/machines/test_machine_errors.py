@@ -1,0 +1,75 @@
+"""Error paths of the spec grammar: every bad spec names its grammar."""
+
+import pytest
+
+from repro.machines import SpecError, parse_machine, parse_memory, split_specs
+from repro.machines.spec import load_spec_file
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "warp-drive",                # unknown kind, not a preset
+        "r10(rob=64",                # unbalanced parens
+        "r10(rob)",                  # missing value
+        "r10(=64)",                  # missing key
+        "r10(rob=64,rob=128)",       # duplicate key
+        "r10(flux=9)",               # unknown parameter
+        "r10(rob=0)",                # zero count
+        "r10(rob=-4)",               # negative count
+        "r10(rob=lots)",             # non-numeric count
+        "r10(sched=maybe)",          # bad enum value
+        "dkip(cp=OOO-0)",            # queue grammar: zero size
+        "dkip(cp=OOO--5)",           # queue grammar: negative size
+        "dkip(mp=FAST)",             # queue grammar: unknown word
+        "limit(histogram=perhaps)",  # bad boolean
+        "kilo(sliq=12.5)",           # non-integer count
+    ],
+)
+def test_bad_machine_specs_raise(bad):
+    with pytest.raises(ValueError):
+        parse_machine(bad)
+
+
+def test_unknown_kind_lists_alternatives():
+    with pytest.raises(ValueError, match="dkip"):
+        parse_machine("warp-drive")
+
+
+def test_unknown_parameter_names_grammar():
+    with pytest.raises(ValueError, match=r"grammar: r10\("):
+        parse_machine("r10(flux=9)")
+
+
+def test_queue_error_propagates_with_grammar():
+    with pytest.raises(ValueError, match="OOO-"):
+        parse_machine("dkip(cp=OOO-0)")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "MEM-9000",          # not a Table-1 name
+        "cache(lat=1)",      # unknown spec kind
+        "mem(lat=0)",        # zero latency
+        "mem(l2=-1M)",       # negative size
+        "mem(warp=1)",       # unknown key
+    ],
+)
+def test_bad_memory_specs_raise(bad):
+    with pytest.raises(SpecError):
+        parse_memory(bad)
+
+
+def test_split_specs_rejects_unbalanced():
+    with pytest.raises(SpecError):
+        split_specs("dkip(llib=4096")
+    with pytest.raises(SpecError):
+        split_specs("dkip)llib=4096(")
+
+
+def test_spec_file_rejects_unknown_suffix(tmp_path):
+    path = tmp_path / "scenario.yaml"
+    path.write_text("machines: [r10]\n")
+    with pytest.raises(SpecError, match=".toml or .json"):
+        load_spec_file(path)

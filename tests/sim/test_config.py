@@ -59,6 +59,22 @@ def test_queue_config_parser():
         _parse_queue_config("SOMETHING")
 
 
+@pytest.mark.parametrize(
+    "bad", ["OOO-0", "OOO--5", "OOO-", "OOO-x", "OOO-4_0", "OOO- 40", "", "OOO"]
+)
+def test_queue_config_rejects_invalid_sizes(bad):
+    """Zero, negative, and non-decimal sizes all raise with the grammar."""
+    with pytest.raises(ValueError, match="INO|OOO-"):
+        _parse_queue_config(bad)
+
+
+def test_queue_config_error_names_the_grammar():
+    with pytest.raises(ValueError, match=r"OOO-<positive\s+integer>"):
+        _parse_queue_config("OOO-0")
+    with pytest.raises(ValueError, match="expected INO or OOO-"):
+        _parse_queue_config("FAST")
+
+
 def test_with_cp_clones():
     config = DKIP_2048.with_cp("OOO-80")
     assert config.cache_processor.iq_int == 80

@@ -12,8 +12,9 @@ import pytest
 
 from repro.experiments.common import WorkloadPool, run_many, run_suite
 from repro.experiments.registry import get_experiment
+from repro.machines import parse_machine
 from repro.memory import DEFAULT_MEMORY
-from repro.sim.config import R10_64, R10_256
+from repro.sim.config import DKIP_2048, KILO_1024, R10_64, R10_256, LimitMachine
 from repro.store import ResultStore, cell_key
 
 NAMES = ("swim", "mcf", "gcc")
@@ -82,6 +83,56 @@ def test_parallel_sweep_writes_back_and_resumes(store):
     serial = run_suite(R10_64, NAMES, N, pool, jobs=1, store=store)
     assert serial == cold[0]
     assert store.writes == 2 * len(NAMES)
+
+
+def test_spec_built_machine_hits_dataclass_cells(store):
+    """Spec↔dataclass equivalence, end to end through the store: every
+    machine built from a spec string produces a bit-identical fingerprint
+    and SimStats to its dataclass-built twin, so the spec run is served
+    entirely from the twin's cached cells."""
+    pool = WorkloadPool()
+    dataclass_stats = run_suite(R10_256, NAMES, N, pool, jobs=1, store=store)
+    writes = store.writes
+    spec_stats = run_suite(
+        parse_machine("r10(rob=256,iq=160)"), NAMES, N, pool, jobs=1, store=store
+    )
+    assert store.writes == writes          # zero cells simulated
+    assert store.hits == len(NAMES)        # every cell served from disk
+    assert spec_stats == dataclass_stats   # SimStats bit-identical
+
+
+def test_limit_machine_flows_through_the_generic_grid(store):
+    """Limit cells share the generic runner path and key space: a
+    spec-built limit machine hits the cells a dataclass sweep stored."""
+    pool = WorkloadPool()
+    machine = LimitMachine(rob_size=64, record_histogram=False)
+    dataclass_stats = run_suite(machine, NAMES, N, pool, jobs=1, store=store)
+    writes = store.writes
+    spec_stats = run_suite(
+        parse_machine("limit(rob=64,histogram=off)"),
+        NAMES, N, pool, jobs=1, store=store,
+    )
+    assert store.writes == writes
+    assert spec_stats == dataclass_stats
+    assert spec_stats[0].config == "limit-rob-64"
+
+
+@pytest.mark.slow
+def test_spec_twins_fingerprint_identically_for_every_kind(store):
+    """One cell per kind: spec-built and dataclass-built twins share keys."""
+    pool = WorkloadPool()
+    pairs = [
+        ("kilo(sliq=1024)", KILO_1024),
+        ("dkip(cp=OOO-20,mp=OOO-40)", DKIP_2048.with_cp("OOO-20").with_mp("OOO-40")),
+    ]
+    for spec, twin in pairs:
+        built = parse_machine(spec)
+        assert built.fingerprint() == twin.fingerprint()
+        twin_stats = run_suite(twin, ("mcf",), N, pool, jobs=1, store=store)
+        writes = store.writes
+        spec_stats = run_suite(built, ("mcf",), N, pool, jobs=1, store=store)
+        assert store.writes == writes
+        assert spec_stats == twin_stats
 
 
 @pytest.mark.slow
