@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke
+.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke workload-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -38,6 +38,20 @@ sweep-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments sweep \
 	  --machines "r10(rob=32),dkip(llib=4096)" --workloads "mcf,swim" \
 	  --scale quick --store .sweep-store | grep ", 0 simulated"
+
+# The workload layer end to end: a 2-point synth sweep, cold then warm
+# against .workload-store (the warm run simulates zero cells).  The
+# same check gates in CI.
+workload-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments sweep \
+	  --machines "dkip(llib=1024)" \
+	  --workloads "synth(chase=4),synth(chase=16)" \
+	  --scale quick --instructions 2000 --store .workload-store
+	PYTHONPATH=src $(PYTHON) -m repro.experiments sweep \
+	  --machines "dkip(llib=1024)" \
+	  --workloads "synth(chase=4),synth(chase=16)" \
+	  --scale quick --instructions 2000 --store .workload-store \
+	  | grep ", 0 simulated"
 
 # Regenerate every paper table/figure at quick scale.
 experiments:

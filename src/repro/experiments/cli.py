@@ -10,11 +10,14 @@ Usage::
     dkip-experiments cache stats                   # inspect the store
     dkip-experiments cache verify --sample 3       # catch stale caches
     dkip-experiments machines                      # kinds, grammar, presets
+    dkip-experiments workloads                     # workload kinds + benchmarks
     dkip-experiments sweep fig9                    # a named sweep preset
     dkip-experiments sweep scenario.toml           # a declarative file
     dkip-experiments sweep --machines "dkip(llib=8192),R10-256" \
         --memory "MEM-400,mem(lat=800)" --workloads "mcf,swim" \
         --svg sweep.svg                            # an ad-hoc grid
+    dkip-experiments sweep --machines dkip \
+        --workloads "synth(chase=4),synth(chase=16)"  # workload specs
     dkip-experiments --list
 
 The result store (``--store DIR``, or the ``REPRO_STORE`` environment
@@ -53,7 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=["all"],
         help="experiment names (e.g. fig9 fig12), 'all', 'report "
-        "[names...]', 'cache <cmd>', 'machines', or 'sweep "
+        "[names...]', 'cache <cmd>', 'machines', 'workloads', or 'sweep "
         "[preset|file.toml ...]'",
     )
     parser.add_argument(
@@ -136,10 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--workloads",
         action="append",
-        metavar="NAMES",
+        metavar="SPECS",
         default=None,
-        help="comma-separated suite tokens (int, fp, all) and/or "
-        "benchmark names (repeatable; default: int)",
+        help="comma-separated suite tokens (int, fp, all), benchmark "
+        'names, and/or workload specs like "synth(chase=8)" or '
+        '"trace(file=foo.trc.gz)" (repeatable; default: int)',
     )
     sweep.add_argument(
         "--axes",
@@ -148,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cross an extra machine parameter over the given values, "
         'e.g. --axes "llib=1024,4096" --axes "cp=INO,OOO-40" (repeatable)',
+    )
+    sweep.add_argument(
+        "--workload-axes",
+        action="append",
+        metavar="KEY=V1,V2,...",
+        default=None,
+        help="cross an extra workload trait over the given values, e.g. "
+        '--workloads synth --workload-axes "chase=0,4,16" (repeatable)',
     )
     sweep.add_argument(
         "--name",
@@ -299,13 +311,15 @@ def run_sweep_command(args) -> int:
         if words:
             adhoc_flags = (
                 args.machines, args.memory, args.workloads, args.axes,
-                args.name, args.title, args.instructions, args.max_cycles,
+                args.workload_axes, args.name, args.title,
+                args.instructions, args.max_cycles,
             )
             if any(flag is not None for flag in adhoc_flags):
                 print(
-                    "note: --machines/--memory/--workloads/--axes/--name/"
-                    "--title/--instructions/--max-cycles are ignored when "
-                    "presets or scenario files are named",
+                    "note: --machines/--memory/--workloads/--axes/"
+                    "--workload-axes/--name/--title/--instructions/"
+                    "--max-cycles are ignored when presets or scenario "
+                    "files are named",
                     file=sys.stderr,
                 )
             for word in words:
@@ -328,16 +342,17 @@ def run_sweep_command(args) -> int:
                     file=sys.stderr,
                 )
                 return 2
-            axes: dict[str, list[str]] = {}
-            for chunk in args.axes or []:
-                key, sep, values = chunk.partition("=")
-                if not sep or not key.strip() or not values.strip():
-                    print(
-                        f"malformed --axes {chunk!r}; expected KEY=V1,V2,...",
-                        file=sys.stderr,
-                    )
-                    return 2
-                axes[key.strip()] = split_specs(values)
+            def parse_axis_flags(chunks, flag):
+                axes: dict[str, list[str]] = {}
+                for chunk in chunks or []:
+                    key, sep, values = chunk.partition("=")
+                    if not sep or not key.strip() or not values.strip():
+                        raise SpecError(
+                            f"malformed {flag} {chunk!r}; expected KEY=V1,V2,..."
+                        )
+                    axes[key.strip()] = split_specs(values)
+                return axes
+
             spec = SweepSpec.from_mapping(
                 {
                     "name": args.name or "sweep",
@@ -351,7 +366,10 @@ def run_sweep_command(args) -> int:
                     "workloads": [
                         s for chunk in args.workloads or [] for s in split_specs(chunk)
                     ],
-                    "axes": axes,
+                    "axes": parse_axis_flags(args.axes, "--axes"),
+                    "workload_axes": parse_axis_flags(
+                        args.workload_axes, "--workload-axes"
+                    ),
                     "instructions": args.instructions,
                     "max_cycles": args.max_cycles,
                 }
@@ -404,6 +422,27 @@ def run_machines_command(args) -> int:
     return 0
 
 
+def run_workloads_command(args) -> int:
+    """Dispatch ``dkip-experiments workloads``: kinds, grammar, benchmarks."""
+    from repro.workloads import SPECFP_NAMES, SPECINT_NAMES, workload_kinds
+
+    print("workload kinds — spec grammar: KIND(key=value,...) or bare KIND")
+    for kind in workload_kinds().values():
+        print(f"  {kind.name:<10s}{kind.description}")
+        print(f"  {'':<10s}{kind.grammar}")
+    print()
+    print("named benchmarks (bare name or bench(name=...)):")
+    print(f"  int: {', '.join(SPECINT_NAMES)}")
+    print(f"  fp:  {', '.join(SPECFP_NAMES)}")
+    print()
+    print("suite tokens for sweeps: int, fp, all")
+    print(
+        "capture a trace for the trace(...) kind with "
+        "repro.trace.io.save_trace(workload, path, n)"
+    )
+    return 0
+
+
 def run_report_command(args) -> int:
     """Dispatch ``dkip-experiments report [names...]``."""
     from repro.report import build_report
@@ -453,6 +492,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_sweep_command(args)
     if names and names[0] == "machines":
         return run_machines_command(args)
+    if names and names[0] == "workloads":
+        return run_workloads_command(args)
     if "all" in names:
         names = list(EXPERIMENTS)
     scale = Scale(args.scale)

@@ -45,7 +45,7 @@ from repro.report.spec import FigureSpec
 from repro.sim.stats import SimStats
 from repro.store import ResultStore
 from repro.viz.ascii import bar_chart
-from repro.workloads import all_names
+from repro.workloads import all_names, apply_workload_params, parse_workload
 
 
 # ----------------------------------------------------------------------
@@ -55,9 +55,12 @@ from repro.workloads import all_names
 _SPEC_KEYS = frozenset(
     {
         "name", "title", "machines", "memory", "workloads", "axes",
-        "instructions", "max_cycles",
+        "workload_axes", "instructions", "max_cycles",
     }
 )
+
+#: Suite tokens that expand to benchmark-name sets (vs. single specs).
+_SUITE_TOKENS = ("int", "fp", "all")
 
 
 @dataclass(frozen=True)
@@ -66,9 +69,13 @@ class SweepSpec:
 
     *machines* and *memory* are spec strings or preset names
     (:func:`repro.machines.parse_machine` / ``parse_memory``);
-    *workloads* mixes suite tokens (``"int"``, ``"fp"``, ``"all"``) and
-    individual benchmark names; *axes* crosses extra ``key=value``
-    parameters into every machine spec (the product of all axis values).
+    *workloads* mixes suite tokens (``"int"``, ``"fp"``, ``"all"``),
+    benchmark names, and workload specs
+    (:func:`repro.workloads.parse_workload` — ``"synth(chase=8)"``,
+    ``"trace(file=foo.trc.gz)"``); *axes* crosses extra ``key=value``
+    parameters into every machine spec (the product of all axis values)
+    and *workload_axes* does the same over every workload spec, so the
+    workload side of the design space sweeps like the machine side.
     """
 
     machines: tuple[str, ...]
@@ -77,6 +84,7 @@ class SweepSpec:
     memory: tuple[str, ...] = ("default",)
     workloads: tuple[str, ...] = ("int",)
     axes: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    workload_axes: tuple[tuple[str, tuple[str, ...]], ...] = ()
     #: Committed-instruction budget; None means the scale preset.
     instructions: int | None = None
     #: Deadlock-guard bound forwarded to the engine (None = default).
@@ -94,16 +102,6 @@ class SweepSpec:
         machines = tuple(str(m) for m in _as_list(data.get("machines")))
         if not machines:
             raise SpecError("a sweep needs at least one machine spec")
-        axes_data = data.get("axes", {})
-        if not isinstance(axes_data, Mapping):
-            raise SpecError("sweep 'axes' must map parameter -> list of values")
-        axes = tuple(
-            (str(key), tuple(str(v) for v in _as_list(values)))
-            for key, values in axes_data.items()
-        )
-        for key, values in axes:
-            if not values:
-                raise SpecError(f"sweep axis {key!r} has no values")
         return cls(
             machines=machines,
             name=str(data.get("name", "sweep")),
@@ -111,7 +109,8 @@ class SweepSpec:
             memory=tuple(str(m) for m in _as_list(data.get("memory"))) or ("default",),
             workloads=tuple(str(w) for w in _as_list(data.get("workloads")))
             or ("int",),
-            axes=axes,
+            axes=_as_axes(data, "axes"),
+            workload_axes=_as_axes(data, "workload_axes"),
             instructions=_as_optional_int(data, "instructions"),
             max_cycles=_as_optional_int(data, "max_cycles"),
         )
@@ -128,6 +127,20 @@ def _as_list(value) -> list:
     if isinstance(value, (list, tuple)):
         return list(value)
     return [value]
+
+
+def _as_axes(data: Mapping, key: str) -> tuple[tuple[str, tuple[str, ...]], ...]:
+    axes_data = data.get(key, {})
+    if not isinstance(axes_data, Mapping):
+        raise SpecError(f"sweep {key!r} must map parameter -> list of values")
+    axes = tuple(
+        (str(axis), tuple(str(v) for v in _as_list(values)))
+        for axis, values in axes_data.items()
+    )
+    for axis, values in axes:
+        if not values:
+            raise SpecError(f"sweep axis {axis!r} has no values")
+    return axes
 
 
 def _as_optional_int(data: Mapping, key: str) -> int | None:
@@ -196,13 +209,43 @@ def expand_machines(spec: SweepSpec) -> list[SweptMachine]:
     ]
 
 
+def expand_workload_tokens(spec: SweepSpec) -> tuple[str, ...]:
+    """Cross every workload token with the workload axes' value product.
+
+    Mirrors :func:`expand_machines` on the workload side: with no
+    workload axes the tokens pass through untouched; with axes every
+    token must be a parametric workload spec (suite tokens have no knobs
+    to cross, which :func:`repro.workloads.apply_workload_params`
+    rejects with a grammar-naming error).
+    """
+    if not spec.workload_axes:
+        return spec.workloads
+    axis_keys = [key for key, _ in spec.workload_axes]
+    axis_values = [values for _, values in spec.workload_axes]
+    tokens: list[str] = []
+    for base in spec.workloads:
+        if base.strip().lower() in _SUITE_TOKENS:
+            raise SpecError(
+                f"cannot apply workload axes to suite token {base!r}; "
+                "name explicit workload specs (e.g. synth) instead"
+            )
+        for combo in itertools.product(*axis_values):
+            tokens.append(
+                apply_workload_params(base, dict(zip(axis_keys, combo)))
+            )
+    return tuple(dict.fromkeys(tokens))
+
+
 def resolve_workloads(
     tokens: Sequence[str], scale: Scale
 ) -> dict[str, tuple[str, ...]]:
-    """Map workload tokens to benchmark-name tuples at *scale*.
+    """Map workload tokens to workload-name tuples at *scale*.
 
     ``"int"``/``"fp"`` resolve through the scale's suite subsets,
-    ``"all"`` to both; anything else must be a registered benchmark.
+    ``"all"`` to both; anything else is a registered benchmark name or a
+    workload spec (``"synth(chase=8)"``, ``"trace(file=...)"``), which
+    resolves to its canonical name so equivalent spellings share one
+    grid cell (and one store entry).
     """
     resolved: dict[str, tuple[str, ...]] = {}
     for token in tokens:
@@ -215,10 +258,15 @@ def resolve_workloads(
         elif text in all_names():
             resolved[text] = (text,)
         else:
-            raise SpecError(
-                f"unknown workload {text!r}; expected int, fp, all, or one "
-                f"of: {', '.join(all_names())}"
-            )
+            try:
+                workload = parse_workload(text)
+            except SpecError as error:
+                raise SpecError(
+                    f"unknown workload {text!r}; expected int, fp, all, a "
+                    f"benchmark name ({', '.join(all_names())}), or a "
+                    f"workload spec: {error}"
+                ) from None
+            resolved[text] = (workload.name,)
     return resolved
 
 
@@ -262,7 +310,7 @@ def sweep_grid(
     scale = scale_of(scale)
     machines = expand_machines(spec)
     memories = [parse_memory(m) for m in spec.memory]
-    workloads = resolve_workloads(spec.workloads, scale)
+    workloads = resolve_workloads(expand_workload_tokens(spec), scale)
     benches = tuple(dict.fromkeys(
         bench for names in workloads.values() for bench in names
     ))
@@ -446,3 +494,22 @@ def run_preset(
     if preset.runner is not None:
         return preset.runner(scale, store=store, force=force)
     return run_sweep(preset.spec, scale, store=store, force=force)
+
+
+# The workload-axis showcase: latency tolerance (the paper's machine
+# axis, Figs. 9-12) against pointer-chase depth (the workload trait the
+# paper identifies as the SpecINT behaviour large windows cannot fix).
+# Runs through the generic formatter and renders like any figure.
+register_sweep_preset(
+    SweepPreset(
+        name="chase",
+        spec=SweepSpec(
+            name="chase",
+            title="latency tolerance vs pointer-chase depth (synth workloads)",
+            machines=("r10(rob=64)", "dkip(llib=2048)"),
+            workloads=("synth",),
+            workload_axes=(("chase", ("0", "4", "16")),),
+        ),
+        description="D-KIP vs OOO as serial miss chains deepen (workload axis)",
+    )
+)

@@ -1,99 +1,35 @@
 """Value coercion for machine-spec parameters.
 
-Every machine kind's ``parse`` hook receives its parameters as raw
-strings (``{"rob": "256", "cp": "OOO-60"}``); the helpers here turn
-those into validated Python values with error messages that always name
-the offending kind, key and the accepted grammar.  This module imports
-nothing from the rest of the package so the constructor modules
-(:mod:`repro.baselines`, :mod:`repro.core.dkip`) can use it without any
-risk of an import cycle.
+The helpers themselves now live in :mod:`repro.grammar` — the spec
+grammar core shared by the machine layer and the workload layer
+(:mod:`repro.workloads.spec`).  This module re-exports them so the
+machine-kind constructor modules (:mod:`repro.baselines`,
+:mod:`repro.core.dkip`) and external callers keep their historical
+import path.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from repro.grammar import (  # noqa: F401 - re-exported API
+    INF_WORDS,
+    SpecError,
+    parse_count,
+    parse_count_or_inf,
+    parse_flag,
+    parse_fraction,
+    parse_nonneg,
+    parse_size,
+    reject_unknown,
+)
 
-#: Multipliers for the size suffixes accepted by :func:`parse_size`.
-_SIZE_SUFFIXES = {"k": 1024, "m": 1024 * 1024}
-
-_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
-_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
-
-#: Spellings of *unlimited/absent* accepted wherever a size or bound may
-#: be infinite (shared by the memory grammar in :mod:`.spec`).
-INF_WORDS = frozenset({"inf", "infinite", "none", "unlimited"})
-_INF_WORDS = INF_WORDS
-
-
-class SpecError(ValueError):
-    """A machine/memory spec string failed to parse or validate."""
-
-
-def reject_unknown(
-    kind: str, params: Mapping[str, str], allowed: frozenset[str] | set[str],
-    grammar: str,
-) -> None:
-    """Raise :class:`SpecError` if *params* contains keys outside *allowed*."""
-    unknown = sorted(set(params) - set(allowed))
-    if unknown:
-        raise SpecError(
-            f"unknown {kind!r} parameter(s) {', '.join(unknown)}; "
-            f"grammar: {grammar}"
-        )
-
-
-def parse_count(kind: str, key: str, value: str) -> int:
-    """A strictly positive integer (``"40"``, ``"2_048"``)."""
-    try:
-        count = int(value)
-    except ValueError:
-        count = None
-    if count is None or count <= 0:
-        raise SpecError(
-            f"{kind}: parameter {key}={value!r} must be a positive integer"
-        )
-    return count
-
-
-def parse_count_or_inf(kind: str, key: str, value: str) -> int | None:
-    """A positive integer, or ``inf``/``none`` meaning *unlimited*."""
-    if value.strip().lower() in _INF_WORDS:
-        return None
-    return parse_count(kind, key, value)
-
-
-def parse_size(kind: str, key: str, value: str) -> int | None:
-    """A byte size with an optional ``K``/``M`` suffix, or ``inf``.
-
-    ``"512K"`` → 524288, ``"1M"`` → 1048576, ``"inf"`` → ``None``.
-    """
-    text = value.strip().lower()
-    if text in _INF_WORDS:
-        return None
-    multiplier = 1
-    if text and text[-1] in _SIZE_SUFFIXES:
-        multiplier = _SIZE_SUFFIXES[text[-1]]
-        text = text[:-1]
-    try:
-        size = int(text)
-    except ValueError:
-        size = None
-    if size is None or size <= 0:
-        raise SpecError(
-            f"{kind}: parameter {key}={value!r} must be a positive size "
-            "(optionally suffixed K or M) or 'inf'"
-        )
-    return size * multiplier
-
-
-def parse_flag(kind: str, key: str, value: str) -> bool:
-    """A boolean flag: on/off, true/false, yes/no, 1/0."""
-    text = value.strip().lower()
-    if text in _TRUE_WORDS:
-        return True
-    if text in _FALSE_WORDS:
-        return False
-    raise SpecError(
-        f"{kind}: parameter {key}={value!r} must be a boolean "
-        "(on/off, true/false, yes/no, 1/0)"
-    )
+__all__ = [
+    "INF_WORDS",
+    "SpecError",
+    "parse_count",
+    "parse_count_or_inf",
+    "parse_flag",
+    "parse_fraction",
+    "parse_nonneg",
+    "parse_size",
+    "reject_unknown",
+]

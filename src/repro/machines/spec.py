@@ -9,84 +9,38 @@ One compact grammar describes every simulatable machine::
 ``parse`` hook into a :class:`~repro.sim.config.DkipConfig`;
 ``"R10-256"`` resolves through the preset table; bare ``"kilo"`` is the
 kind with all defaults.  Parameter grammars are owned by the kinds
-themselves (see each constructor module); this module owns only the
-surrounding syntax, the preset lookup, the memory-system grammar, and
-TOML/JSON scenario-file loading.
+themselves (see each constructor module); the surrounding syntax
+(:func:`split_specs` / :func:`parse_spec_string`) lives in
+:mod:`repro.grammar`, shared with the workload layer, and is re-exported
+here.  This module owns the preset lookup, the memory-system grammar,
+and TOML/JSON scenario-file loading.
 """
 
 from __future__ import annotations
 
 import json
-import re
 from dataclasses import replace
 from pathlib import Path
 from typing import Mapping
 
-from repro.machines.params import (
+from repro.grammar import (  # noqa: F401 - split/parse re-exported API
     INF_WORDS,
     SpecError,
     parse_count,
     parse_size,
+    parse_spec_string,
     reject_unknown,
+    split_specs,
 )
 from repro.machines.presets import get_preset
 from repro.machines.registry import get_kind
 from repro.memory.configs import DEFAULT_MEMORY, TABLE1_CONFIGS, MemoryConfig
-
-_SPEC_RE = re.compile(r"\s*([A-Za-z_][\w.-]*)\s*(?:\((.*)\))?\s*\Z", re.S)
 
 MEMORY_GRAMMAR = (
     "mem(lat=N|inf, l2=SIZE[K|M]|inf, l2lat=N, l1=SIZE[K|M]|inf, "
     "l1lat=N, line=N, name=STR) or a Table-1 name (L1-2, L2-11, L2-21, "
     "MEM-100, MEM-400, MEM-1000) or 'default'"
 )
-
-
-def split_specs(text: str) -> list[str]:
-    """Split a comma-separated spec list at paren depth zero, so
-    ``"r10,dkip(llib=4096,cp=OOO-60)"`` yields two specs, not three."""
-    parts: list[str] = []
-    depth = 0
-    current: list[str] = []
-    for char in text:
-        if char == "(":
-            depth += 1
-        elif char == ")":
-            depth -= 1
-            if depth < 0:
-                raise SpecError(f"unbalanced parentheses in {text!r}")
-        if char == "," and depth == 0:
-            parts.append("".join(current))
-            current = []
-        else:
-            current.append(char)
-    if depth != 0:
-        raise SpecError(f"unbalanced parentheses in {text!r}")
-    parts.append("".join(current))
-    return [part.strip() for part in parts if part.strip()]
-
-
-def parse_spec_string(spec: str) -> tuple[str, dict[str, str]]:
-    """Split ``"kind(k=v,...)"`` into ``(kind, params)`` without
-    interpreting the values."""
-    match = _SPEC_RE.match(spec)
-    if match is None or spec.count("(") != spec.count(")"):
-        raise SpecError(
-            f"malformed spec {spec!r}; expected KIND or KIND(key=value,...)"
-        )
-    kind, body = match.group(1), match.group(2)
-    params: dict[str, str] = {}
-    for item in split_specs(body or ""):
-        key, sep, value = item.partition("=")
-        key, value = key.strip(), value.strip()
-        if not sep or not key or not value:
-            raise SpecError(
-                f"malformed parameter {item!r} in {spec!r}; expected key=value"
-            )
-        if key in params:
-            raise SpecError(f"duplicate parameter {key!r} in {spec!r}")
-        params[key] = value
-    return kind, params
 
 
 def parse_machine(spec: str):

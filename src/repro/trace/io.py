@@ -8,26 +8,44 @@ supported via the filename) chosen for durability and diff-ability over
 raw pickles:
 
     # repro-trace v1
+    # region <base-hex> <size>
     <seq> <pc> <op> <dest> <src0,src1> <addr> <size> <taken> <target>
 
-Missing fields are ``-``.  Round-tripping is exact (asserted by property
-tests in ``tests/trace/test_io.py``).
+Missing fields are ``-``.  ``# region`` comment lines (optional, written
+by :func:`save_trace`) record the generating workload's data regions so
+a replayed trace warms the caches exactly like the original run; other
+comment lines and blanks are ignored.  Round-tripping is exact (asserted
+by property tests in ``tests/trace/test_io.py``), and every parse or
+decompression defect raises :class:`TraceFormatError` rather than
+leaking the underlying gzip error (or its file handle).
 """
 
 from __future__ import annotations
 
+import contextlib
 import gzip
 import io
-from typing import Iterable, Iterator, TextIO
+from typing import Iterable, Iterator, Sequence, TextIO
 
 from repro.isa import Instruction, OpClass
 
 _HEADER = "# repro-trace v1"
+_REGION_PREFIX = "# region "
+
+
+class TraceFormatError(ValueError):
+    """A trace file is missing, truncated, corrupt, or malformed."""
 
 
 def _open(path: str, mode: str) -> TextIO:
     if path.endswith(".gz"):
-        return io.TextIOWrapper(gzip.open(path, mode + "b"))  # type: ignore[arg-type]
+        raw = gzip.open(path, mode + "b")
+        try:
+            return io.TextIOWrapper(raw)  # type: ignore[arg-type]
+        except Exception:
+            # Never leak the underlying gzip handle when wrapping fails.
+            raw.close()
+            raise
     return open(path, mode)
 
 
@@ -41,14 +59,22 @@ def _field(value) -> str:
     return str(value)
 
 
-def dump_trace(instructions: Iterable[Instruction], path: str) -> int:
+def dump_trace(
+    instructions: Iterable[Instruction],
+    path: str,
+    regions: Sequence[tuple[int, int]] | None = None,
+) -> int:
     """Write *instructions* to *path* (gzip if it ends with ``.gz``).
 
-    Returns the number of instructions written.
+    *regions*, when given, are recorded as ``# region`` comment lines so
+    the trace carries the data-region map cache warm-up needs.  Returns
+    the number of instructions written.
     """
     count = 0
     with _open(path, "w") as handle:
         handle.write(_HEADER + "\n")
+        for base, size in regions or ():
+            handle.write(f"{_REGION_PREFIX}{base:x} {size}\n")
         for instr in instructions:
             srcs = ",".join(str(s) for s in instr.srcs) if instr.srcs else "-"
             handle.write(
@@ -71,6 +97,14 @@ def dump_trace(instructions: Iterable[Instruction], path: str) -> int:
     return count
 
 
+def save_trace(workload, path: str, n: int) -> int:
+    """Capture the first *n* instructions of *workload* (including its
+    region map) at *path*; the file replays through the ``trace(...)``
+    workload kind.  Returns the instruction count written."""
+    trace = workload.trace(n)
+    return dump_trace(trace, path, regions=workload.regions)
+
+
 def _parse_int(token: str, base: int = 10):
     return None if token == "-" else int(token, base)
 
@@ -85,31 +119,99 @@ def _parse_bool(token: str):
     raise ValueError(f"bad boolean field {token!r}")
 
 
+#: Decompression/decoding failures a corrupt ``.gz`` (or binary junk)
+#: surfaces mid-read; all are re-raised as :class:`TraceFormatError`.
+_READ_ERRORS = (OSError, EOFError, UnicodeDecodeError, gzip.BadGzipFile)
+
+
+@contextlib.contextmanager
+def _opened_trace(path: str) -> Iterator[TextIO]:
+    """Open *path* for reading and validate its header, converting every
+    open-time and read-time defect — missing file, directory path,
+    permission error, bad header, truncated/corrupt gzip — into
+    :class:`TraceFormatError`.  The handle is closed either way."""
+    try:
+        handle = _open(path, "r")
+    except FileNotFoundError:
+        raise TraceFormatError(f"{path}: trace file does not exist") from None
+    except OSError as error:
+        raise TraceFormatError(f"{path}: cannot open trace: {error}") from None
+    with handle:
+        try:
+            header = handle.readline().rstrip("\n")
+            if header != _HEADER:
+                raise TraceFormatError(
+                    f"{path}: not a repro trace (header {header!r}, "
+                    f"expected {_HEADER!r})"
+                )
+            yield handle
+        except _READ_ERRORS as error:
+            raise TraceFormatError(
+                f"{path}: corrupt or truncated trace: {error}"
+            ) from None
+
+
 def load_trace(path: str) -> Iterator[Instruction]:
-    """Stream instructions back from a file written by :func:`dump_trace`."""
-    with _open(path, "r") as handle:
-        header = handle.readline().rstrip("\n")
-        if header != _HEADER:
-            raise ValueError(
-                f"{path}: not a repro trace (header {header!r}, "
-                f"expected {_HEADER!r})"
-            )
+    """Stream instructions back from a file written by :func:`dump_trace`.
+
+    Raises :class:`TraceFormatError` (a ``ValueError``) for a missing or
+    unreadable file, a bad header, a malformed record, or a truncated/
+    corrupt gzip stream; the underlying file handle is closed either way.
+    """
+    with _opened_trace(path) as handle:
         for line_number, line in enumerate(handle, start=2):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
             parts = line.split()
             if len(parts) != 9:
-                raise ValueError(f"{path}:{line_number}: malformed record: {line!r}")
+                raise TraceFormatError(
+                    f"{path}:{line_number}: malformed record: {line!r}"
+                )
             seq, pc, op, dest, srcs, addr, size, taken, target = parts
-            yield Instruction(
-                seq=int(seq),
-                pc=int(pc, 16),
-                op=OpClass[op],
-                dest=_parse_int(dest),
-                srcs=tuple(int(s) for s in srcs.split(",")) if srcs != "-" else (),
-                addr=_parse_int(addr, 16),
-                size=int(size),
-                taken=_parse_bool(taken),
-                target=_parse_int(target),
-            )
+            try:
+                yield Instruction(
+                    seq=int(seq),
+                    pc=int(pc, 16),
+                    op=OpClass[op],
+                    dest=_parse_int(dest),
+                    srcs=tuple(int(s) for s in srcs.split(","))
+                    if srcs != "-"
+                    else (),
+                    addr=_parse_int(addr, 16),
+                    size=int(size),
+                    taken=_parse_bool(taken),
+                    target=_parse_int(target),
+                )
+            except (ValueError, KeyError) as error:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: malformed record: {line!r} "
+                    f"({error})"
+                ) from None
+
+
+def read_trace_regions(path: str) -> list[tuple[int, int]]:
+    """The ``# region`` map of a trace file (empty for regionless files).
+
+    Only the comment block before the first instruction record is
+    scanned, so this stays O(header) even for multi-megabyte traces.
+    """
+    regions: list[tuple[int, int]] = []
+    with _opened_trace(path) as handle:
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if line.startswith(_REGION_PREFIX):
+                parts = line.split()
+                if len(parts) != 4:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: malformed region: {line!r}"
+                    )
+                try:
+                    regions.append((int(parts[2], 16), int(parts[3])))
+                except ValueError:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: malformed region: {line!r}"
+                    ) from None
+            elif line and not line.startswith("#"):
+                break
+    return regions

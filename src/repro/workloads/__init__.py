@@ -1,4 +1,4 @@
-"""Synthetic SPEC2000: one generator per benchmark the paper simulates.
+"""Workloads: named SPEC2000 stand-ins plus declarative workload kinds.
 
 The paper evaluates all of SPEC2000 (12 SpecINT + 14 SpecFP benchmarks,
 200M-instruction SimPoint samples of Alpha binaries).  Those binaries and
@@ -20,23 +20,52 @@ end up waiting on off-chip memory — so each generator is explicit about:
   branches that read loaded values — the ones whose mispredictions cost a
   full memory round trip).
 
-Use :func:`get_workload` / :func:`suite` to instantiate them.
+Beyond the named benchmarks, the declarative layer
+(:mod:`repro.workloads.kinds` + :mod:`repro.workloads.spec`) makes
+workloads *data*, symmetric with :mod:`repro.machines`: a spec grammar
+(``"synth(footprint=64M,chase=8)"``, ``"trace(file=foo.trc.gz)"``), the
+parametric :class:`~repro.workloads.synth.SynthWorkload` family, and
+trace-file replay.  :func:`get_workload` accepts names and specs alike.
 """
 
 from repro.workloads.base import Workload
+from repro.workloads.kinds import (
+    WorkloadKind,
+    ensure_builtin_workload_kinds,
+    get_workload_kind,
+    register_workload_kind,
+    workload_kinds,
+)
 from repro.workloads.registry import (
     SPECFP_NAMES,
     SPECINT_NAMES,
     all_names,
+    benchmark_class,
     get_workload,
     suite,
 )
+from repro.workloads.spec import (
+    WORKLOAD_GRAMMAR,
+    apply_workload_params,
+    parse_workload,
+    parse_workloads,
+)
 
 __all__ = [
-    "Workload",
-    "SPECINT_NAMES",
     "SPECFP_NAMES",
+    "SPECINT_NAMES",
+    "WORKLOAD_GRAMMAR",
+    "Workload",
+    "WorkloadKind",
     "all_names",
+    "apply_workload_params",
+    "benchmark_class",
+    "ensure_builtin_workload_kinds",
     "get_workload",
+    "get_workload_kind",
+    "parse_workload",
+    "parse_workloads",
+    "register_workload_kind",
     "suite",
+    "workload_kinds",
 ]

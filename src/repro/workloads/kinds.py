@@ -1,0 +1,98 @@
+"""The workload-kind registry: every instantiable workload family.
+
+Symmetric with :mod:`repro.machines.registry`: a *kind* is one family of
+workloads described by a :class:`WorkloadKind` record whose ``parse``
+hook builds a :class:`~repro.workloads.base.Workload` from the key/value
+parameters of a spec string (:func:`repro.workloads.spec.parse_workload`
+handles the surrounding grammar).  Built-in kinds:
+
+* ``bench`` — the named synthetic SPEC2000 benchmarks
+  (``bench(name=mcf)``; bare benchmark names are sugar for this kind);
+* ``synth`` — the parametric synthetic family whose traits map onto the
+  paper's locality/MLP knobs (:mod:`repro.workloads.synth`);
+* ``trace`` — replay of a captured trace file
+  (:mod:`repro.workloads.tracefile`).
+
+Kinds register themselves from the module that owns their constructor at
+import time; :func:`ensure_builtin_workload_kinds` imports those modules
+lazily so this module stays import-cycle-free and external code can
+register additional kinds before or after.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class WorkloadKind:
+    """One registered workload family."""
+
+    #: Registry key and the kind word of the spec grammar (lowercase).
+    name: str
+    #: ``parse(params: dict[str, str], seed: int) -> Workload``.
+    parse: Callable[[dict[str, str], int], "Workload"]
+    #: Human-readable spec grammar, e.g. ``"synth(chase=N, br=F, ...)"``.
+    grammar: str = ""
+    #: One-line human description (the ``workloads`` subcommand).
+    description: str = ""
+    #: Whether different seeds are guaranteed to produce different
+    #: traces.  Trace-file replay (and any purely structural generator)
+    #: is seed-insensitive; the determinism test battery asserts the
+    #: matching behaviour either way.
+    seed_sensitive: bool = True
+
+
+_KINDS: dict[str, WorkloadKind] = {}
+
+#: Modules that self-register the built-in kinds when imported.
+_BUILTIN_MODULES = (
+    "repro.workloads.registry",   # the `bench` kind (named benchmarks)
+    "repro.workloads.synth",
+    "repro.workloads.tracefile",
+)
+
+
+def register_workload_kind(kind: WorkloadKind) -> WorkloadKind:
+    """Register *kind* (idempotent; re-registration replaces).
+
+    Kind names are the kind words of the spec grammar, which lookups
+    lowercase; a name that is not already lowercase would be listed but
+    unreachable, so it is rejected here.
+    """
+    if not kind.name or kind.name != kind.name.lower():
+        raise ValueError(
+            f"workload kind name {kind.name!r} must be non-empty lowercase "
+            "(spec grammar kind words are case-insensitive at lookup)"
+        )
+    _KINDS[kind.name] = kind
+    return kind
+
+
+def ensure_builtin_workload_kinds() -> None:
+    """Import the constructor modules so the built-in kinds exist."""
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def workload_kinds() -> dict[str, WorkloadKind]:
+    """All registered kinds, keyed by name (registration order)."""
+    ensure_builtin_workload_kinds()
+    return dict(_KINDS)
+
+
+def get_workload_kind(name: str) -> WorkloadKind:
+    """The kind registered under *name* (case-insensitive)."""
+    ensure_builtin_workload_kinds()
+    kind = _KINDS.get(name.lower())
+    if kind is None:
+        raise ValueError(
+            f"unknown workload kind {name!r}; registered kinds: "
+            f"{', '.join(sorted(_KINDS))}"
+        )
+    return kind

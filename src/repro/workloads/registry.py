@@ -1,8 +1,17 @@
-"""Workload registry: lookup by name, suite enumeration."""
+"""Workload registry: lookup by name or spec, suite enumeration.
+
+The named-benchmark table (the paper's 26 SPEC2000 stand-ins) doubles as
+the ``bench`` workload kind of :mod:`repro.workloads.kinds`, so the
+declarative layer covers it like any other family:
+``get_workload("mcf")``, ``get_workload("bench(name=mcf)")`` and
+``get_workload("synth(chase=8)")`` all resolve through one path.
+"""
 
 from __future__ import annotations
 
+from repro.grammar import SpecError, reject_unknown
 from repro.workloads.base import Workload
+from repro.workloads.kinds import WorkloadKind, register_workload_kind
 from repro.workloads.specfp import SPECFP_WORKLOADS
 from repro.workloads.specint import SPECINT_WORKLOADS
 
@@ -16,21 +25,36 @@ SPECINT_NAMES: tuple[str, ...] = tuple(cls.name for cls in SPECINT_WORKLOADS)
 #: SpecFP benchmark names in the paper's figure order.
 SPECFP_NAMES: tuple[str, ...] = tuple(cls.name for cls in SPECFP_WORKLOADS)
 
+BENCH_GRAMMAR = "bench(name=BENCH) or the bare benchmark name (e.g. mcf)"
+
 
 def all_names() -> tuple[str, ...]:
     """Every benchmark name, SpecINT first (as in the paper's tables)."""
     return SPECINT_NAMES + SPECFP_NAMES
 
 
+def benchmark_class(name: str) -> type[Workload] | None:
+    """The named benchmark's class, or ``None`` for non-benchmarks."""
+    return _REGISTRY.get(name)
+
+
 def get_workload(name: str, seed: int = 0) -> Workload:
-    """Instantiate the benchmark called *name*."""
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown workload {name!r}; available: {', '.join(all_names())}"
-        ) from None
-    return cls(seed=seed)
+    """Instantiate the workload called *name*.
+
+    *name* is a benchmark name (``"mcf"``) or any workload spec string
+    (``"synth(chase=8)"``, ``"trace(file=foo.trc.gz)"``); specs resolve
+    through :func:`repro.workloads.spec.parse_workload`, so everything
+    that rebuilds workloads from names — the process-pool workers, the
+    store's ``cache verify`` — transparently supports every kind.
+    """
+    cls = _REGISTRY.get(name)
+    if cls is not None:
+        return cls(seed=seed)
+    from repro.workloads.spec import parse_workload
+
+    # Every parse failure is a SpecError (a ValueError) whose message
+    # already lists the registered kinds and benchmark names.
+    return parse_workload(name, seed=seed)
 
 
 def suite(which: str, seed: int = 0) -> list[Workload]:
@@ -42,3 +66,28 @@ def suite(which: str, seed: int = 0) -> list[Workload]:
     else:
         raise ValueError(f"suite must be 'int' or 'fp', got {which!r}")
     return [get_workload(name, seed=seed) for name in names]
+
+
+def _parse_bench(params: dict[str, str], seed: int) -> Workload:
+    reject_unknown("bench", params, frozenset({"name"}), BENCH_GRAMMAR)
+    if "name" not in params:
+        raise SpecError(
+            f"bench: missing required parameter 'name'; grammar: {BENCH_GRAMMAR}"
+        )
+    cls = _REGISTRY.get(params["name"])
+    if cls is None:
+        raise SpecError(
+            f"bench: unknown benchmark {params['name']!r}; available: "
+            f"{', '.join(all_names())}"
+        )
+    return cls(seed=seed)
+
+
+register_workload_kind(
+    WorkloadKind(
+        name="bench",
+        parse=_parse_bench,
+        grammar=BENCH_GRAMMAR,
+        description="the paper's named SPEC2000 stand-ins (12 int + 14 fp)",
+    )
+)

@@ -1,0 +1,100 @@
+"""The workload spec grammar: one string for any workload.
+
+Symmetric with :mod:`repro.machines.spec` and built on the same grammar
+core (:mod:`repro.grammar`)::
+
+    workload := BENCH-NAME | KIND | KIND "(" params ")"
+
+``"mcf"`` resolves through the named-benchmark registry (sugar for
+``"bench(name=mcf)"``); ``"synth(chase=8,footprint=64M)"`` builds a
+parametric :class:`~repro.workloads.synth.SynthWorkload`;
+``"trace(file=foo.trc.gz)"`` replays a captured trace.  Parameter
+grammars are owned by the kinds themselves
+(:mod:`repro.workloads.kinds`); this module owns the surrounding syntax
+and the canonical-name round trip: for every workload ``w`` built here,
+``parse_workload(w.name)`` rebuilds an identical twin (same fields,
+name, trace, and store fingerprint).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.grammar import SpecError, parse_spec_string, render_spec, split_specs
+from repro.workloads.base import Workload
+from repro.workloads.kinds import workload_kinds
+
+WORKLOAD_GRAMMAR = (
+    "BENCH-NAME (e.g. mcf, swim) or KIND(key=value,...) — "
+    "see 'dkip-experiments workloads' for kinds and their parameters"
+)
+
+
+def _known_workloads() -> str:
+    from repro.workloads.registry import all_names
+
+    kinds = ", ".join(sorted(workload_kinds()))
+    return f"kinds: {kinds}; benchmarks: {', '.join(all_names())}"
+
+
+def parse_workload(spec: str, seed: int = 0) -> Workload:
+    """Parse a workload spec — benchmark name, bare kind, or
+    ``kind(...)`` — into a :class:`Workload` instance."""
+    from repro.workloads.registry import benchmark_class
+
+    text = spec.strip()
+    if "(" not in text:
+        cls = benchmark_class(text)
+        if cls is not None:
+            return cls(seed=seed)
+    kind_name, params = parse_spec_string(text)
+    kinds = workload_kinds()
+    kind = kinds.get(kind_name.lower())
+    if kind is None:
+        raise SpecError(
+            f"unknown workload {spec!r}; expected {WORKLOAD_GRAMMAR} "
+            f"({_known_workloads()})"
+        )
+    try:
+        return kind.parse(params, seed)
+    except SpecError:
+        raise
+    except ValueError as error:
+        raise SpecError(
+            f"{kind.name}: {error}; grammar: {kind.grammar}"
+        ) from None
+
+
+def parse_workloads(text: str, seed: int = 0) -> list[Workload]:
+    """Parse a comma-separated list of workload specs (paren-aware)."""
+    return [parse_workload(spec, seed=seed) for spec in split_specs(text)]
+
+
+def apply_workload_params(spec: str, extra: Mapping[str, str]) -> str:
+    """Re-render *spec* with *extra* parameters merged in (overriding).
+
+    Sweep workload axes use this to cross one base workload spec with
+    axis values: ``apply_workload_params("synth(br=0.2)", {"chase":
+    "8"})`` → ``"synth(br=0.2,chase=8)"``.  Only parametric kinds can
+    take axes; a named benchmark has no knobs to cross, which is a
+    :class:`SpecError` naming the offender.
+    """
+    from repro.workloads.registry import benchmark_class
+
+    text = spec.strip()
+    if not extra:
+        return text
+    if "(" not in text and benchmark_class(text) is not None:
+        raise SpecError(
+            f"cannot apply workload axes to benchmark {text!r}; axes need "
+            f"a parametric workload kind such as synth(...) "
+            f"({_known_workloads()})"
+        )
+    kind, params = parse_spec_string(text)
+    if kind.lower() not in workload_kinds():
+        raise SpecError(
+            f"unknown workload kind {kind!r} in {spec!r}; "
+            f"({_known_workloads()})"
+        )
+    params.update({str(k): str(v) for k, v in extra.items()})
+    return render_spec(kind, params)

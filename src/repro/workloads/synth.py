@@ -1,0 +1,259 @@
+"""The parametric synthetic workload family (``synth`` kind).
+
+The named SPEC stand-ins (:mod:`repro.workloads.specint` / ``specfp``)
+each hard-code one behaviour point; :class:`SynthWorkload` exposes the
+underlying knobs as *traits* so sweeps can walk the workload axis of the
+paper's design space the way :mod:`repro.machines` walks the machine
+axis:
+
+* ``footprint`` — total data size, which sets where the workload lands
+  on the L2-size sensitivity curve of Figures 11/12;
+* ``chase`` — serial pointer-chase depth: each hop's address comes from
+  the previous load, the Section-2 SpecINT misbehaviour that no
+  instruction window can overlap (``chase=0`` is pure streaming);
+* ``br`` — branch entropy: the probability a data-dependent branch goes
+  the rare way (0 = perfectly biased, 0.5 = coin flip), controlling how
+  often fetch is redirected behind a possibly-missed load;
+* ``mlp`` — independent load streams per iteration (memory-level
+  parallelism available to a large window);
+* ``ilp`` — independent compute strands between the loads;
+* ``stride``, ``stores``, ``hot``, ``fp`` — access stride (elements),
+  store probability, hot-region size, and int/fp flavour.
+
+A ``synth`` workload names itself canonically from its non-default
+traits (``"synth(chase=8,footprint=1M)"``), so a spec-built instance is
+bit-identical — fields, name, trace, store fingerprint — to its
+keyword-built twin, and the canonical name round-trips through
+:func:`repro.workloads.spec.parse_workload`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.fingerprint import digest
+from repro.grammar import (
+    SpecError,
+    format_size,
+    format_value,
+    parse_flag,
+    parse_fraction,
+    parse_nonneg,
+    parse_count,
+    parse_size,
+    reject_unknown,
+    render_spec,
+)
+from repro.isa import Instruction
+from repro.trace.kernel import Kernel
+from repro.trace.layout import ArrayRef, LinkedList
+from repro.workloads.base import Workload
+from repro.workloads.kinds import WorkloadKind, register_workload_kind
+
+KB = 1024
+MB = 1024 * KB
+
+SYNTH_GRAMMAR = (
+    "synth(footprint=SIZE[K|M], hot=SIZE[K|M], chase=N, br=FRACTION, "
+    "ilp=1..8, mlp=1..6, stride=N, stores=FRACTION, fp=on|off)"
+)
+
+#: Trait defaults in canonical rendering order (the order trait values
+#: appear in a synth workload's canonical name).
+DEFAULT_TRAITS = {
+    "footprint": 4 * MB,
+    "hot": 32 * KB,
+    "chase": 0,
+    "br": 0.05,
+    "ilp": 2,
+    "mlp": 2,
+    "stride": 1,
+    "stores": 0.125,
+    "fp": False,
+}
+
+_SIZE_TRAITS = frozenset({"footprint", "hot"})
+
+#: Iterations between pointer-chase bursts (mirrors mcf's scan/burst mix).
+CHASE_INTERVAL = 4
+
+
+class SynthWorkload(Workload):
+    """One point in the parametric workload space (see module docstring).
+
+    Keyword arguments are the traits of :data:`DEFAULT_TRAITS`; all are
+    validated here so spec-built and keyword-built instances share one
+    error path.
+    """
+
+    suite = "synth"
+    description = "parametric synthetic: footprint/chase/br/ilp/mlp knobs"
+    trace_version = 1
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        footprint: int = DEFAULT_TRAITS["footprint"],
+        hot: int = DEFAULT_TRAITS["hot"],
+        chase: int = DEFAULT_TRAITS["chase"],
+        br: float = DEFAULT_TRAITS["br"],
+        ilp: int = DEFAULT_TRAITS["ilp"],
+        mlp: int = DEFAULT_TRAITS["mlp"],
+        stride: int = DEFAULT_TRAITS["stride"],
+        stores: float = DEFAULT_TRAITS["stores"],
+        fp: bool = DEFAULT_TRAITS["fp"],
+    ) -> None:
+        # Coerce to the canonical trait types up front so keyword-built
+        # instances (e.g. chase=4.0) canonicalize, name and fingerprint
+        # exactly like their spec-built twins.
+        traits = {
+            "footprint": int(footprint), "hot": int(hot), "chase": int(chase),
+            "br": float(br), "ilp": int(ilp), "mlp": int(mlp),
+            "stride": int(stride), "stores": float(stores), "fp": bool(fp),
+        }
+        self._validate(traits)
+        self.traits = traits
+        # Instance attribute shadows the ClassVar: synth workloads name
+        # themselves canonically from their non-default traits.
+        self.name = render_synth_name(traits)
+        super().__init__(seed)
+
+    @staticmethod
+    def _validate(traits: dict) -> None:
+        def bad(message: str) -> SpecError:
+            return SpecError(f"synth: {message}; grammar: {SYNTH_GRAMMAR}")
+
+        for key in ("footprint", "hot"):
+            if traits[key] < 4 * KB:
+                raise bad(f"{key}={traits[key]} must be at least 4K")
+        if traits["chase"] < 0 or traits["chase"] > 64:
+            raise bad(f"chase={traits['chase']} must be in 0..64")
+        for key in ("br", "stores"):
+            if not 0.0 <= traits[key] <= 1.0:
+                raise bad(f"{key}={traits[key]} must be a fraction in [0, 1]")
+        if not 1 <= traits["ilp"] <= 8:
+            raise bad(f"ilp={traits['ilp']} must be in 1..8")
+        if not 1 <= traits["mlp"] <= 6:
+            raise bad(f"mlp={traits['mlp']} must be in 1..6")
+        if traits["stride"] < 1:
+            raise bad(f"stride={traits['stride']} must be a positive element count")
+
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable digest over the full trait assignment (not just the
+        canonical name, so a default change bumps affected cells only
+        together with :attr:`trace_version`)."""
+        return digest(
+            {
+                "__kind__": type(self).__name__,
+                "name": self.name,
+                "suite": self.suite,
+                "seed": self.seed,
+                "trace_version": self.trace_version,
+                "traits": self.traits,
+            }
+        )
+
+    def _run(self, k: Kernel) -> Iterator[Instruction]:
+        t = self.traits
+        fp = t["fp"]
+        chase, br, stores, stride = t["chase"], t["br"], t["stores"], t["stride"]
+        # Chase arena and streaming region split the footprint; the hot
+        # region is allocated last so the functional warm-up leaves it
+        # cache resident (the convention of the named benchmarks).
+        arena_bytes = t["footprint"] // 2 if chase else 0
+        stream_bytes = t["footprint"] - arena_bytes
+        stream = ArrayRef.alloc(k.space, max(1, stream_bytes // 8), 8)
+        chain = (
+            LinkedList(k.space, nodes=max(1, arena_bytes // 64), node_size=64,
+                       rng=k.rng)
+            if chase
+            else None
+        )
+        hot = ArrayRef.alloc(k.space, max(1, t["hot"] // 8), 8)
+        rng = k.rng
+        regs = k.fregs if fp else k.iregs
+        vals = regs(t["mlp"])
+        accs = regs(t["ilp"])
+        (hval,) = regs(1)
+        if chain is not None:
+            ptr, csum = k.iregs(2)
+        op = k.fadd if fp else k.alu
+        # mlp independent streams start phase-shifted through the region
+        # so their misses never coalesce into one line stream.
+        phase = stream.length // len(vals)
+        for i in itertools.count():
+            for s, val in enumerate(vals):
+                yield k.load(val, stream.addr(i * stride + s * phase), fp=fp)
+            for j, acc in enumerate(accs):
+                yield op(acc, acc, vals[j % len(vals)])
+            # Data-dependent branch on the first loaded value: rare
+            # direction with probability br (the entropy knob).
+            yield k.branch("data", srcs=(vals[0],), taken=rng.random() >= br)
+            yield k.load(hval, hot.addr((i * 7) % hot.length), fp=fp)
+            if chain is not None and i % CHASE_INTERVAL == 0:
+                # Serial chain: each hop's base is the previous hop's
+                # value, so misses cannot overlap (Section 2).
+                yield k.load(ptr, chain.advance())
+                for _hop in range(chase - 1):
+                    yield k.load(ptr, chain.advance(), base=ptr)
+                yield k.alu(csum, csum, ptr)
+                # Miss-dependent branch: reads the just-fetched pointer.
+                yield k.branch("chase", srcs=(ptr,), taken=rng.random() >= br)
+            if rng.random() < stores:
+                yield k.store(vals[0], stream.addr(i * stride), fp=fp)
+            yield k.loop_branch("synth")
+
+
+def render_synth_name(traits: dict) -> str:
+    """The canonical name: ``synth`` plus non-default traits in
+    :data:`DEFAULT_TRAITS` order (``"synth"`` when all-default)."""
+    params = {}
+    for key, default in DEFAULT_TRAITS.items():
+        value = traits[key]
+        if value == default:
+            continue
+        params[key] = (
+            format_size(value) if key in _SIZE_TRAITS else format_value(value)
+        )
+    return render_spec("synth", params)
+
+
+def _parse_synth(params: dict[str, str], seed: int) -> SynthWorkload:
+    reject_unknown("synth", params, frozenset(DEFAULT_TRAITS), SYNTH_GRAMMAR)
+    kwargs: dict = {}
+    try:
+        for key, value in params.items():
+            if key in _SIZE_TRAITS:
+                size = parse_size("synth", key, value)
+                if size is None:
+                    raise SpecError(
+                        f"synth: parameter {key}={value!r} must be finite"
+                    )
+                kwargs[key] = size
+            elif key in ("br", "stores"):
+                kwargs[key] = parse_fraction("synth", key, value)
+            elif key == "chase":
+                kwargs[key] = parse_nonneg("synth", key, value)
+            elif key == "fp":
+                kwargs[key] = parse_flag("synth", key, value)
+            else:  # ilp, mlp, stride
+                kwargs[key] = parse_count("synth", key, value)
+    except SpecError as error:
+        if "grammar:" in str(error):
+            raise
+        raise SpecError(f"{error}; grammar: {SYNTH_GRAMMAR}") from None
+    return SynthWorkload(seed=seed, **kwargs)
+
+
+register_workload_kind(
+    WorkloadKind(
+        name="synth",
+        parse=_parse_synth,
+        grammar=SYNTH_GRAMMAR,
+        description="parametric synthetic workload (paper's locality/MLP knobs)",
+    )
+)

@@ -1,10 +1,18 @@
 """Unit and property tests for trace serialization."""
 
+import gzip
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa import Instruction, OpClass
-from repro.trace.io import dump_trace, load_trace
+from repro.trace.io import (
+    TraceFormatError,
+    dump_trace,
+    load_trace,
+    read_trace_regions,
+    save_trace,
+)
 from repro.workloads import get_workload
 
 
@@ -51,6 +59,101 @@ def test_blank_lines_and_comments_skipped(tmp_path):
     with open(path, "w") as f:
         f.write(content.replace("\n", "\n# comment\n\n", 1))
     assert list(load_trace(path)) == trace
+
+
+def test_missing_file_is_a_clean_error():
+    with pytest.raises(TraceFormatError, match="does not exist"):
+        list(load_trace("/no/such/trace.trc"))
+    with pytest.raises(TraceFormatError, match="does not exist"):
+        read_trace_regions("/no/such/trace.trc.gz")
+
+
+def test_unopenable_path_is_a_clean_error(tmp_path):
+    """Open-time OSErrors beyond FileNotFoundError (directory path,
+    permission denial) honour the TraceFormatError contract too."""
+    with pytest.raises(TraceFormatError, match="cannot open trace"):
+        list(load_trace(str(tmp_path)))
+    with pytest.raises(TraceFormatError, match="cannot open trace"):
+        read_trace_regions(str(tmp_path))
+
+
+def test_truncated_gzip_raises_trace_format_error(tmp_path):
+    """A capture cut off mid-stream (killed writer, partial copy) must
+    surface as TraceFormatError, not a raw EOFError from gzip."""
+    trace = get_workload("swim").trace(300)
+    path = tmp_path / "swim.trc.gz"
+    dump_trace(trace, str(path))
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(TraceFormatError, match="corrupt or truncated"):
+        list(load_trace(str(path)))
+
+
+def test_corrupt_gzip_raises_trace_format_error(tmp_path):
+    """Binary junk with a .gz name is a format error, not a BadGzipFile
+    leaking out of the parser (and no file handle leaks with it)."""
+    path = tmp_path / "junk.trc.gz"
+    path.write_bytes(b"this is not gzip data at all")
+    with pytest.raises(TraceFormatError, match="corrupt or truncated"):
+        list(load_trace(str(path)))
+    with pytest.raises(TraceFormatError):
+        read_trace_regions(str(path))
+
+
+def test_gzip_with_binary_payload_raises_trace_format_error(tmp_path):
+    """A valid gzip stream whose payload is not text still fails clean."""
+    path = tmp_path / "binary.trc.gz"
+    with gzip.open(path, "wb") as handle:
+        handle.write(bytes(range(256)) * 16)
+    with pytest.raises(TraceFormatError):
+        list(load_trace(str(path)))
+
+
+def test_trace_format_error_is_a_value_error():
+    """Callers that caught ValueError before the subclass existed keep
+    working."""
+    assert issubclass(TraceFormatError, ValueError)
+
+
+def test_malformed_field_value_names_the_line(tmp_path):
+    path = tmp_path / "bad.trace"
+    # Nine whitespace-separated fields, but the opcode is unknown.
+    path.write_text("# repro-trace v1\n0 100 WARP - - - 8 - -\n")
+    with pytest.raises(TraceFormatError, match=":2:"):
+        list(load_trace(str(path)))
+
+
+def test_region_map_round_trips(tmp_path):
+    workload = get_workload("mcf")
+    path = str(tmp_path / "mcf.trc.gz")
+    assert save_trace(workload, path, 200) == 200
+    assert read_trace_regions(path) == workload.regions
+    # Region comments are invisible to the instruction reader.
+    assert list(load_trace(path)) == workload.trace(200)
+
+
+def test_region_map_defaults_to_empty(tmp_path):
+    path = str(tmp_path / "bare.trace")
+    dump_trace(get_workload("eon").trace(50), path)
+    assert read_trace_regions(path) == []
+
+
+def test_malformed_region_comment_is_an_error(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("# repro-trace v1\n# region zzz\n")
+    with pytest.raises(TraceFormatError, match="malformed region"):
+        read_trace_regions(str(path))
+
+
+def test_region_scan_stops_at_first_record(tmp_path):
+    """Only the header block is scanned: a region-shaped comment after
+    records is commentary, not data."""
+    workload = get_workload("eon")
+    path = str(tmp_path / "t.trace")
+    dump_trace(workload.trace(10), path, regions=[(0x1000, 64)])
+    with open(path, "a") as handle:
+        handle.write("# region ffff 4096\n")
+    assert read_trace_regions(path) == [(0x1000, 64)]
 
 
 _ops = st.sampled_from(list(OpClass))

@@ -1,16 +1,140 @@
-"""Determinism guarantees: identical seeds yield identical traces."""
+"""Determinism guarantees: identical seeds yield identical traces.
+
+Two layers:
+
+* the named-benchmark checks the suite has always had, and
+* a *registry-driven battery* that iterates every registered workload
+  kind (bench, synth, trace, and anything registered later) over
+  example specs, asserting the full determinism contract per kind:
+  same seed → identical trace, different seed → different trace (or
+  identical, for kinds registered ``seed_sensitive=False``), and
+  ``trace(n)`` is a prefix of ``trace(2n)``.
+
+A kind registered without an entry in :data:`KIND_EXAMPLES` (or the
+``trace`` fixture below) fails the battery loudly, so future kinds are
+covered by construction.
+"""
 
 import pytest
 
-from repro.workloads import all_names, get_workload
+from repro.trace.io import save_trace
+from repro.workloads import all_names, get_workload, parse_workload, workload_kinds
 
 N = 1_000
+
+#: Trace length for the per-kind battery (smaller: it covers every kind
+#: times every example spec, twice per property).
+BATTERY_N = 400
+
+#: Example spec strings per registered kind.  Chosen to exercise the
+#: kind's parameter space, and — for seed-sensitive kinds — to draw from
+#: the rng so different seeds provably diverge.
+KIND_EXAMPLES = {
+    "bench": ("mcf", "bench(name=gcc)", "ammp"),
+    "synth": (
+        "synth",
+        "synth(chase=6,footprint=1M)",
+        "synth(fp=on,mlp=4,ilp=4,br=0.3)",
+        "synth(footprint=64K,hot=16K,stride=9,stores=0.5)",
+    ),
+    # trace needs a file on disk; example specs come from the fixture.
+    "trace": (),
+}
+
+
+@pytest.fixture(scope="session")
+def trace_fixture_file(tmp_path_factory):
+    """A small captured mcf trace the ``trace`` kind's battery replays."""
+    path = tmp_path_factory.mktemp("traces") / "mcf.trc.gz"
+    save_trace(get_workload("mcf"), str(path), 2 * BATTERY_N)
+    return str(path)
+
+
+@pytest.fixture
+def kind_examples(trace_fixture_file):
+    """Example spec strings for one kind; fails for uncovered kinds."""
+
+    def examples_for(name: str) -> tuple[str, ...]:
+        if name == "trace":
+            return (f"trace(file={trace_fixture_file})",)
+        specs = KIND_EXAMPLES.get(name, ())
+        assert specs, (
+            f"workload kind {name!r} has no determinism-battery examples; "
+            "add example specs to KIND_EXAMPLES so the kind is covered"
+        )
+        return specs
+
+    return examples_for
 
 
 def fingerprint(trace):
     return [
         (i.seq, i.pc, int(i.op), i.dest, i.srcs, i.addr, i.taken) for i in trace
     ]
+
+
+# ----------------------------------------------------------------------
+# The registry-driven battery (covers every registered kind)
+# ----------------------------------------------------------------------
+
+
+def test_every_registered_kind_has_examples(kind_examples):
+    for name in workload_kinds():
+        assert kind_examples(name)
+
+
+@pytest.mark.parametrize("kind_name", sorted(workload_kinds()))
+def test_battery_same_seed_same_trace(kind_name, kind_examples):
+    for spec in kind_examples(kind_name):
+        a = parse_workload(spec, seed=1).trace(BATTERY_N)
+        b = parse_workload(spec, seed=1).trace(BATTERY_N)
+        assert fingerprint(a) == fingerprint(b), spec
+
+
+@pytest.mark.parametrize("kind_name", sorted(workload_kinds()))
+def test_battery_seed_sensitivity(kind_name, kind_examples):
+    """Seed-sensitive kinds diverge across seeds; insensitive kinds
+    (trace replay) are bit-identical for every seed."""
+    kind = workload_kinds()[kind_name]
+    for spec in kind_examples(kind_name):
+        a = parse_workload(spec, seed=1).trace(BATTERY_N)
+        b = parse_workload(spec, seed=2).trace(BATTERY_N)
+        if kind.seed_sensitive:
+            assert fingerprint(a) != fingerprint(b), spec
+        else:
+            assert fingerprint(a) == fingerprint(b), spec
+
+
+@pytest.mark.parametrize("kind_name", sorted(workload_kinds()))
+def test_battery_trace_n_is_prefix_of_trace_2n(kind_name, kind_examples):
+    for spec in kind_examples(kind_name):
+        short = parse_workload(spec, seed=1).trace(BATTERY_N)
+        long = parse_workload(spec, seed=1).trace(2 * BATTERY_N)
+        assert fingerprint(short) == fingerprint(long[:BATTERY_N]), spec
+
+
+@pytest.mark.parametrize("kind_name", sorted(workload_kinds()))
+def test_battery_cache_extension_keeps_prefix(kind_name, kind_examples):
+    """Extending one instance's cached trace preserves the prefix too."""
+    for spec in kind_examples(kind_name):
+        workload = parse_workload(spec, seed=1)
+        short = list(workload.trace(BATTERY_N // 2))
+        long = workload.trace(BATTERY_N)
+        assert fingerprint(short) == fingerprint(long[: BATTERY_N // 2]), spec
+
+
+@pytest.mark.parametrize("kind_name", sorted(workload_kinds()))
+def test_battery_regions_published_after_trace(kind_name, kind_examples):
+    for spec in kind_examples(kind_name):
+        workload = parse_workload(spec, seed=1)
+        workload.trace(BATTERY_N)
+        assert workload.regions, spec
+        assert workload.footprint > 0, spec
+
+
+# ----------------------------------------------------------------------
+# Named-benchmark checks (the original battery)
+# ----------------------------------------------------------------------
 
 
 @pytest.mark.parametrize("name", all_names())

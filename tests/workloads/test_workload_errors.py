@@ -1,0 +1,120 @@
+"""Error paths of the workload grammar: every bad spec names its grammar.
+
+Mirrors ``tests/machines/test_machine_errors.py`` for the workload side:
+unknown kinds, bad trait values and missing trace files must raise
+:class:`repro.grammar.SpecError` with the offending kind's grammar
+string in the message, so a CLI user can fix the spec without reading
+source.
+"""
+
+import pytest
+
+from repro.grammar import SpecError
+from repro.workloads import (
+    apply_workload_params,
+    get_workload,
+    parse_workload,
+    parse_workloads,
+)
+from repro.workloads.synth import SynthWorkload
+from repro.workloads.tracefile import TraceFileWorkload
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "quake3",                      # unknown kind, not a benchmark
+        "linpack(n=100)",              # unknown kind with params
+        "synth(chase=8",               # unbalanced parens
+        "synth(chase)",                # missing value
+        "synth(=8)",                   # missing key
+        "synth(chase=8,chase=4)",      # duplicate key
+        "synth(warp=9)",               # unknown trait
+        "synth(chase=-1)",             # negative count
+        "synth(chase=lots)",           # non-numeric count
+        "synth(chase=90)",             # above the register-budget cap
+        "synth(br=2)",                 # fraction out of range
+        "synth(br=maybe)",             # non-numeric fraction
+        "synth(stores=-0.1)",          # negative fraction
+        "synth(ilp=0)",                # zero strand count
+        "synth(ilp=12)",               # above cap
+        "synth(mlp=0)",                # zero stream count
+        "synth(stride=0)",             # zero stride
+        "synth(footprint=0)",          # zero size
+        "synth(footprint=1K)",         # below the 4K minimum
+        "synth(footprint=inf)",        # sizes must be finite
+        "synth(fp=perhaps)",           # bad boolean
+        "bench()",                     # missing required name
+        "bench(name=quake3)",          # unknown benchmark
+        "bench(title=mcf)",            # unknown parameter
+        "trace()",                     # missing required file
+        "trace(file=/no/such/file.trc)",   # missing trace file
+        "trace(file=/tmp/x.trc,mode=fast)",  # unknown parameter
+    ],
+)
+def test_bad_workload_specs_raise_spec_error(bad):
+    with pytest.raises(SpecError):
+        parse_workload(bad)
+
+
+def test_unknown_workload_lists_kinds_and_benchmarks():
+    with pytest.raises(SpecError, match="synth") as excinfo:
+        parse_workload("quake3")
+    message = str(excinfo.value)
+    assert "trace" in message and "mcf" in message
+
+
+@pytest.mark.parametrize(
+    "bad,grammar_fragment",
+    [
+        ("synth(warp=9)", r"grammar: synth\("),
+        ("synth(chase=-1)", r"grammar: synth\("),
+        ("synth(br=2)", r"grammar: synth\("),
+        ("synth(footprint=1K)", r"grammar: synth\("),
+        ("synth(footprint=inf)", r"grammar: synth\("),
+        ("bench(name=quake3)", "mcf"),  # lists the real benchmarks
+        ("bench()", r"grammar: bench\("),
+        ("trace()", r"grammar: trace\("),
+        ("trace(file=/no/such/file.trc)", r"grammar: trace\("),
+    ],
+)
+def test_bad_specs_name_their_grammar(bad, grammar_fragment):
+    with pytest.raises(SpecError, match=grammar_fragment):
+        parse_workload(bad)
+
+
+def test_missing_trace_file_error_names_the_path():
+    with pytest.raises(SpecError, match="/no/such/file.trc"):
+        parse_workload("trace(file=/no/such/file.trc)")
+    # The class constructor shares the spec-grammar error path.
+    with pytest.raises(SpecError, match="does not exist"):
+        TraceFileWorkload("/no/such/file.trc")
+
+
+def test_synth_keyword_twin_shares_the_error_path():
+    """Directly-built synth workloads validate like spec-built ones."""
+    with pytest.raises(SpecError, match=r"grammar: synth\("):
+        SynthWorkload(chase=-1)
+    with pytest.raises(SpecError, match=r"grammar: synth\("):
+        SynthWorkload(br=1.5)
+    with pytest.raises(SpecError, match=r"grammar: synth\("):
+        SynthWorkload(mlp=99)
+
+
+def test_get_workload_still_rejects_plain_unknown_names():
+    with pytest.raises(ValueError, match="unknown workload"):
+        get_workload("linpack")
+
+
+def test_parse_workloads_propagates_position_of_bad_spec():
+    with pytest.raises(SpecError):
+        parse_workloads("mcf,synth(warp=1)")
+    with pytest.raises(SpecError, match="unbalanced"):
+        parse_workloads("mcf,synth(chase=4")
+
+
+def test_apply_workload_params_rejects_benchmarks_and_unknown_kinds():
+    with pytest.raises(SpecError, match="mcf"):
+        apply_workload_params("mcf", {"chase": "4"})
+    with pytest.raises(SpecError, match="unknown workload kind"):
+        apply_workload_params("quake3(x=1)", {"chase": "4"})

@@ -1,0 +1,183 @@
+"""Workload spec grammar: every spec string must equal its class twin.
+
+The contract the store depends on (mirroring
+``tests/machines/test_machine_spec.py``): a workload built from a spec
+string is *the same value* as the instance built directly — equal
+fields, equal name, identical trace, and therefore a bit-identical
+store fingerprint and cell key.
+"""
+
+import pytest
+
+from repro.memory.configs import DEFAULT_MEMORY
+from repro.sim.config import DKIP_2048
+from repro.sim.runner import run_core
+from repro.store import cell_key
+from repro.trace.io import save_trace
+from repro.workloads import (
+    apply_workload_params,
+    get_workload,
+    parse_workload,
+    parse_workloads,
+    workload_kinds,
+)
+from repro.workloads.specfp import Swim
+from repro.workloads.specint import Mcf
+from repro.workloads.synth import SynthWorkload
+from repro.workloads.tracefile import TraceFileWorkload
+
+KB = 1024
+MB = 1024 * KB
+
+
+def twins():
+    """(spec string, directly-built twin) pairs across every kind."""
+    return [
+        ("mcf", Mcf(seed=0)),
+        ("bench(name=mcf)", Mcf(seed=0)),
+        ("bench(name=swim)", Swim(seed=0)),
+        ("synth", SynthWorkload()),
+        ("synth(chase=8)", SynthWorkload(chase=8)),
+        ("synth(chase=8,footprint=1M)", SynthWorkload(chase=8, footprint=MB)),
+        (
+            "synth(footprint=1M,hot=64K,br=0.2,fp=on)",
+            SynthWorkload(footprint=MB, hot=64 * KB, br=0.2, fp=True),
+        ),
+        (
+            "synth(mlp=4,ilp=6,stride=3,stores=0.5)",
+            SynthWorkload(mlp=4, ilp=6, stride=3, stores=0.5),
+        ),
+    ]
+
+
+@pytest.mark.parametrize("spec,twin", twins(), ids=[s for s, _ in twins()])
+def test_spec_equals_class_twin(spec, twin):
+    workload = parse_workload(spec)
+    assert workload.name == twin.name
+    assert workload.seed == twin.seed
+    assert workload.suite == twin.suite
+    assert type(workload) is type(twin)
+    assert workload.fingerprint() == twin.fingerprint()
+    assert workload.trace(400) == twin.trace(400)
+
+
+@pytest.mark.parametrize("spec,twin", twins(), ids=[s for s, _ in twins()])
+def test_spec_twin_store_cell_keys_are_identical(spec, twin):
+    """The acceptance criterion: spec-built workloads produce store
+    fingerprints identical to their directly-built twins."""
+    spec_key = cell_key(DKIP_2048, parse_workload(spec), 500, DEFAULT_MEMORY)
+    twin_key = cell_key(DKIP_2048, twin, 500, DEFAULT_MEMORY)
+    assert spec_key.digest == twin_key.digest
+
+
+@pytest.mark.parametrize("spec,twin", twins(), ids=[s for s, _ in twins()])
+def test_canonical_name_round_trips(spec, twin):
+    """parse(w.name) rebuilds an identical workload for every kind."""
+    workload = parse_workload(spec)
+    again = parse_workload(workload.name)
+    assert again.name == workload.name
+    assert again.fingerprint() == workload.fingerprint()
+
+
+def test_synth_traits_are_parsed_and_coerced():
+    w = parse_workload("synth(footprint=2M,hot=64K,chase=3,br=0.25,fp=yes)")
+    assert w.traits["footprint"] == 2 * MB
+    assert w.traits["hot"] == 64 * KB
+    assert w.traits["chase"] == 3
+    assert w.traits["br"] == 0.25
+    assert w.traits["fp"] is True
+    # Keyword coercion: float counts canonicalize like int counts.
+    assert SynthWorkload(chase=3.0).name == SynthWorkload(chase=3).name
+
+
+def test_synth_default_traits_elide_from_name():
+    assert SynthWorkload().name == "synth"
+    assert parse_workload("synth(chase=0)").name == "synth"  # default value
+    assert SynthWorkload(chase=8, footprint=MB).name == (
+        "synth(footprint=1M,chase=8)"
+    )
+
+
+def test_spec_whitespace_and_case():
+    assert parse_workload("  synth( chase = 8 )  ").name == "synth(chase=8)"
+    assert parse_workload("SYNTH(chase=8)").name == "synth(chase=8)"
+
+
+def test_parse_workloads_splits_paren_aware():
+    loads = parse_workloads("mcf,synth(chase=4,footprint=1M),swim")
+    assert [w.name for w in loads] == [
+        "mcf", "synth(footprint=1M,chase=4)", "swim",
+    ]
+
+
+def test_seed_is_threaded_through_every_kind():
+    assert parse_workload("mcf", seed=7).seed == 7
+    assert parse_workload("synth(chase=2)", seed=7).seed == 7
+    assert get_workload("synth(chase=2)", seed=7).seed == 7
+
+
+def test_apply_workload_params_merges_and_overrides():
+    assert apply_workload_params("synth(br=0.2)", {"chase": "8"}) == (
+        "synth(br=0.2,chase=8)"
+    )
+    assert apply_workload_params("synth(chase=2)", {"chase": "8"}) == (
+        "synth(chase=8)"
+    )
+    assert apply_workload_params("synth", {}) == "synth"
+
+
+def test_registry_covers_builtin_kinds():
+    kinds = workload_kinds()
+    assert {"bench", "synth", "trace"} <= set(kinds)
+    for kind in kinds.values():
+        assert kind.grammar and kind.description
+
+
+def test_registry_rejects_unreachable_kind_names():
+    """Lookups lowercase the kind word, so registration must too."""
+    from repro.workloads.kinds import WorkloadKind, register_workload_kind
+
+    with pytest.raises(ValueError, match="lowercase"):
+        register_workload_kind(
+            WorkloadKind(name="MyKind", parse=lambda params, seed: None)
+        )
+    with pytest.raises(ValueError, match="lowercase"):
+        register_workload_kind(WorkloadKind(name="", parse=lambda p, s: None))
+
+
+# ----------------------------------------------------------------------
+# Trace-file twins and the capture/replay differential
+# ----------------------------------------------------------------------
+
+
+def test_trace_spec_equals_class_twin(tmp_path):
+    path = str(tmp_path / "mcf.trc.gz")
+    save_trace(Mcf(seed=0), path, 400)
+    spec_built = parse_workload(f"trace(file={path})")
+    class_built = TraceFileWorkload(path)
+    assert spec_built.name == class_built.name
+    assert spec_built.fingerprint() == class_built.fingerprint()
+    assert spec_built.trace(400) == class_built.trace(400)
+    key_a = cell_key(DKIP_2048, spec_built, 400, DEFAULT_MEMORY)
+    key_b = cell_key(DKIP_2048, class_built, 400, DEFAULT_MEMORY)
+    assert key_a.digest == key_b.digest
+    # Canonical-name round trip holds for trace workloads too.
+    assert parse_workload(spec_built.name).fingerprint() == spec_built.fingerprint()
+
+
+def test_trace_replay_reproduces_identical_simstats(tmp_path):
+    """save_trace → trace(...) replay is simulation-equivalent: a quick
+    dkip run of the capture matches the original bit for bit."""
+    n = 400
+    original = Mcf(seed=0)
+    path = str(tmp_path / "mcf.trc.gz")
+    save_trace(original, path, n)
+    replay = parse_workload(f"trace(file={path})")
+    direct = run_core(DKIP_2048, Mcf(seed=0), n)
+    replayed = run_core(DKIP_2048, replay, n)
+    a, b = direct.to_dict(), replayed.to_dict()
+    # The workload label names the source (mcf vs trace(file=...)); every
+    # simulated quantity must be identical.
+    assert a.pop("workload") == "mcf"
+    assert b.pop("workload") == replay.name
+    assert a == b
