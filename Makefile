@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke workload-smoke
+.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke workload-smoke chaos-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -52,6 +52,17 @@ workload-smoke:
 	  --workloads "synth(chase=4),synth(chase=16)" \
 	  --scale quick --instructions 2000 --store .workload-store \
 	  | grep ", 0 simulated"
+
+# The fault-tolerant executor under deterministic chaos: the battery in
+# tests/resilience/ plus one CLI run where 40% of cell attempts are
+# killed mid-flight and the sweep must still exit 0 with a full grid.
+# The same check gates in CI.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/resilience -x -q
+	REPRO_JOBS=2 REPRO_FAULT="cell:kill:0.4,seed=11" \
+	  PYTHONPATH=src $(PYTHON) -m repro.experiments sweep \
+	  --machines "r10(rob=32)" --workloads "mcf,swim" \
+	  --scale quick --instructions 2000 --no-store --retries 8
 
 # Regenerate every paper table/figure at quick scale.
 experiments:

@@ -29,6 +29,14 @@ any configured store for this invocation.
 ``report`` assembles every requested experiment (default: all) into one
 standalone Markdown document with embedded SVG charts and a
 reproduced-vs-paper verdict per figure; on a warm store it only renders.
+
+The resilience flags (``--cell-timeout``, ``--retries``,
+``--max-failures``, ``--failures-json``) activate the fault-tolerant
+executor (:mod:`repro.resilience`) for the whole invocation: hung cells
+are killed at their deadline, transient failures and dead workers retry
+with backoff, and — under ``--max-failures N`` — a sweep completes with
+a partial grid (failed cells rendered as ``n/a``) instead of dying,
+exiting nonzero with one typed failure record per lost cell.
 """
 
 from __future__ import annotations
@@ -39,6 +47,13 @@ import sys
 
 from repro.experiments.common import Scale, compute_cell
 from repro.experiments.registry import EXPERIMENTS, REGISTRY, get_experiment
+from repro.resilience import (
+    STRICT,
+    CellExecutionError,
+    ExecutionPolicy,
+    FailureReport,
+    resilience_context,
+)
 from repro.store import ResultStore
 
 
@@ -100,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         default=None,
         help="cache verify: check N randomly sampled cells (default: all)",
+    )
+    parser.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="cache verify: move corrupt/schema-stale entries to "
+        "<store>/.quarantine/ instead of skipping them",
     )
     parser.add_argument(
         "--all",
@@ -194,7 +215,85 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="sweep: also render the result chart as an SVG file",
     )
+    resilience = parser.add_argument_group(
+        "resilience",
+        "fault tolerance for long sweeps (any of these flags activates "
+        "the resilient execution policy for the whole invocation)",
+    )
+    resilience.add_argument(
+        "--cell-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-cell wall-clock deadline; an overdue cell's worker is "
+        "killed and the cell retried (default: no deadline)",
+    )
+    resilience.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=None,
+        help="retry budget per cell for transient failures, worker "
+        f"deaths and timeouts (default: {STRICT.retries})",
+    )
+    resilience.add_argument(
+        "--max-failures",
+        type=int,
+        metavar="N",
+        default=None,
+        help="final cell failures tolerated before aborting; 0 = "
+        "fail-fast (the default), negative = never abort",
+    )
+    resilience.add_argument(
+        "--failures-json",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable failure report to PATH",
+    )
     return parser
+
+
+def resolve_policy(args) -> ExecutionPolicy | None:
+    """The execution policy the resilience flags describe, if any.
+
+    ``None`` (no flag given) keeps today's behaviour exactly: strict
+    fail-fast execution with no ambient failure report.
+    """
+    flags = (args.cell_timeout, args.retries, args.max_failures,
+             args.failures_json)
+    if all(flag is None for flag in flags):
+        return None
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        raise ValueError(
+            f"--cell-timeout must be positive, got {args.cell_timeout}"
+        )
+    if args.retries is not None and args.retries < 0:
+        raise ValueError(f"--retries must be >= 0, got {args.retries}")
+    max_failures: int | None = STRICT.max_failures
+    if args.max_failures is not None:
+        max_failures = None if args.max_failures < 0 else args.max_failures
+    return ExecutionPolicy(
+        cell_timeout=args.cell_timeout,
+        retries=STRICT.retries if args.retries is None else args.retries,
+        max_failures=max_failures,
+    )
+
+
+def _finalize_failures(
+    args, policy: ExecutionPolicy, report: FailureReport, status: int
+) -> int:
+    """Write ``--failures-json``, summarize failures, cap the exit code."""
+    if args.failures_json:
+        report.write_json(args.failures_json, policy)
+        print(f"[failure report written to {args.failures_json}]")
+    if not report.failures:
+        return status
+    print(f"cell failures: {report.summary()}", file=sys.stderr)
+    for failure in report.failures:
+        print(f"  {failure.describe()}", file=sys.stderr)
+    # Nonzero but capped: leave the upper range to the shell (126+) and
+    # keep the per-experiment failure count (<=255) distinguishable.
+    return max(status, min(len(report.failures), 125))
 
 
 def resolve_store(args) -> ResultStore | None:
@@ -244,15 +343,29 @@ def run_cache_command(args) -> int:
 
     # Fresh sampling entropy per invocation: repeated --sample N runs
     # cover different cells over time instead of re-checking one subset.
-    reports = store.verify(compute_cell, sample=args.sample, rng_seed=None)
+    reports = store.verify(
+        compute_cell,
+        sample=args.sample,
+        rng_seed=None,
+        quarantine=args.quarantine,
+    )
     stale = 0
+    quarantined = 0
     for report in reports:
         line = f"{report['status']:<6s} {report['cell']} [{report['digest'][:12]}]"
-        if report["status"] != "ok":
+        if report["status"] == "quarantined":
+            quarantined += 1
+            line += f"  {report.get('detail', '')}"
+        elif report["status"] != "ok":
             stale += 1
             line += f"  {report.get('detail', '')}"
         print(line)
-    print(f"verified {len(reports)} cell(s), {stale} stale/errored")
+    print(f"verified {len(reports) - quarantined} cell(s), {stale} stale/errored")
+    if quarantined:
+        print(
+            f"quarantined {quarantined} corrupt/stale entrie(s) to "
+            f"{store.root / '.quarantine'}"
+        )
     return 1 if stale else 0
 
 
@@ -484,6 +597,25 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:<{width}}  {experiment.paper:<12}  {experiment.description}")
         return 0
     names = list(args.experiments) or ["all"]
+    try:
+        policy = resolve_policy(args)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if policy is None:
+        # No resilience flag: today's strict path, byte-for-byte.
+        return _dispatch(args, names)
+    with resilience_context(policy) as report:
+        try:
+            status = _dispatch(args, names)
+        except CellExecutionError as error:
+            print(f"aborted: {error}", file=sys.stderr)
+            status = 1
+    return _finalize_failures(args, policy, report, status)
+
+
+def _dispatch(args, names: list[str]) -> int:
+    """Route one parsed invocation to its subcommand or experiment runs."""
     if names and names[0] == "cache":
         return run_cache_command(args)
     if names and names[0] == "report":

@@ -22,13 +22,21 @@ import csv
 import enum
 import functools
 import json
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.memory import DEFAULT_MEMORY, MemoryConfig, MemoryHierarchy, warm_caches
+from repro.resilience import (
+    ExecutionPolicy,
+    FailureReport,
+    ResilientExecutor,
+    active_policy,
+    active_report,
+    cell_label,
+    run_attempts,
+)
 from repro.sim.runner import MachineConfig, run_core, simulate
 from repro.sim.stats import SimStats
 from repro.store import CellKey, ResultStore, cell_key, from_jsonable
@@ -226,14 +234,25 @@ def run_cells(
     store: ResultStore | None = None,
     force: bool = False,
     max_cycles: int | None = None,
-) -> list[SimStats]:
+    policy: ExecutionPolicy | None = None,
+    report: FailureReport | None = None,
+) -> list[SimStats | None]:
     """Run every (config, benchmark, memory) cell, store-first, in order.
 
     The fully general grid runner — machines of any registered kind
     (including the limit core) and a different memory system per cell.
     Cached cells never dispatch; missing cells run serially or on the
-    pool and persist to *store* as each one completes — that per-cell
-    write-back is what makes a killed sweep resumable.
+    supervised pool (:class:`repro.resilience.ResilientExecutor`) and
+    persist to *store* as each one completes — that per-cell write-back
+    is what makes a killed sweep resumable, and what makes retried
+    cells idempotent (the fingerprint is the ledger).
+
+    *policy* and *report* default to the ambient resilience context
+    (:func:`repro.resilience.resilience_context`); without one, the
+    strict policy applies — supervision on, but the first permanent
+    failure raises :class:`repro.resilience.CellExecutionError` naming
+    the offending cell.  Under a tolerant policy, failed cells come
+    back as ``None`` and their typed failure records land in *report*.
     """
     results: list[SimStats | None] = [None] * len(cells)
     keys: list[CellKey | None] = [None] * len(cells)
@@ -245,27 +264,42 @@ def run_cells(
     pending = [i for i, cached in enumerate(results) if cached is None]
     if not pending:
         return results
+    if policy is None:
+        policy = active_policy()
+    if report is None:
+        report = active_report()
+        if report is None:
+            report = FailureReport()
+    labels = {i: cell_label(*cells[i]) for i in pending}
     jobs = resolve_jobs(jobs, len(pending))
-    if jobs <= 1:
+    if jobs <= 1 and policy.cell_timeout is None:
         for i in pending:
             config, name, memory = cells[i]
-            stats = run_core(
-                config,
-                pool.get(name),
-                num_instructions,
-                memory=memory,
-                warm_cache=warm_cache,
-                max_cycles=max_cycles,
-            )
-            if store is not None:
-                store.put(keys[i], stats)
-            results[i] = stats
+
+            def compute(config=config, name=name, memory=memory) -> SimStats:
+                return run_core(
+                    config,
+                    pool.get(name),
+                    num_instructions,
+                    memory=memory,
+                    warm_cache=warm_cache,
+                    max_cycles=max_cycles,
+                )
+
+            stats = run_attempts(i, labels[i], compute, policy, report)
+            if stats is not None:
+                if store is not None:
+                    store.put(keys[i], stats)
+                results[i] = stats
         return results
     # Parallel path: warm once in the parent and ship snapshots to the
-    # workers so the warm-up hoisting survives the fan-out.
+    # workers so the warm-up hoisting survives the fan-out.  The
+    # supervised executor enforces deadlines, retries retryable
+    # failures, and respawns dead workers, requeueing only their cells.
     tasks = [
         (
             i,
+            labels[i],
             _make_task(
                 cells[i][0],
                 cells[i][1],
@@ -278,11 +312,14 @@ def run_cells(
         )
         for i in pending
     ]
-    with multiprocessing.Pool(processes=jobs) as workers:
-        for i, stats in workers.imap_unordered(_run_indexed, tasks):
-            if store is not None:
-                store.put(keys[i], stats)
-            results[i] = stats
+
+    def on_result(i: int, stats: SimStats) -> None:
+        if store is not None:
+            store.put(keys[i], stats)
+        results[i] = stats
+
+    executor = ResilientExecutor(_run_pair, jobs, policy, report)
+    executor.run(tasks, on_result)
     return results
 
 
@@ -440,11 +477,17 @@ def compute_cell(payload: dict) -> SimStats:
     )
 
 
-def mean_ipc(stats: Sequence[SimStats]) -> float:
-    """Arithmetic-mean IPC, the aggregation the paper's figures use."""
-    if not stats:
+def mean_ipc(stats: Sequence[SimStats | None]) -> float:
+    """Arithmetic-mean IPC, the aggregation the paper's figures use.
+
+    ``None`` entries — cells that failed under a tolerant execution
+    policy — are skipped, so a partial grid still aggregates over its
+    surviving cells instead of crashing.
+    """
+    present = [s for s in stats if s is not None]
+    if not present:
         return 0.0
-    return sum(s.ipc for s in stats) / len(stats)
+    return sum(s.ipc for s in present) / len(present)
 
 
 @dataclass

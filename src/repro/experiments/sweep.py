@@ -42,6 +42,7 @@ from repro.machines import (
 )
 from repro.memory.configs import MemoryConfig
 from repro.report.spec import FigureSpec
+from repro.resilience import CellFailure, FailureReport, active_report
 from repro.sim.stats import SimStats
 from repro.store import ResultStore
 from repro.viz.ascii import bar_chart
@@ -272,7 +273,14 @@ def resolve_workloads(
 
 @dataclass
 class SweepGrid:
-    """Executed grid: expanded machines, memories, and per-cell stats."""
+    """Executed grid: expanded machines, memories, and per-cell stats.
+
+    Under a tolerant execution policy a cell that failed past its retry
+    budget holds ``None`` in ``results`` and its typed
+    :class:`~repro.resilience.CellFailure` in ``failures`` under the
+    same (machine index, memory index, benchmark) coordinates, so
+    downstream formatting can say *why* a cell is missing.
+    """
 
     spec: SweepSpec
     scale: Scale
@@ -281,19 +289,38 @@ class SweepGrid:
     memories: list[MemoryConfig]
     workloads: dict[str, tuple[str, ...]]
     benches: tuple[str, ...]
-    results: dict[tuple[int, int, str], SimStats] = field(default_factory=dict)
+    results: dict[tuple[int, int, str], SimStats | None] = field(default_factory=dict)
+    failures: dict[tuple[int, int, str], CellFailure] = field(default_factory=dict)
 
-    def stats(self, machine: int, memory: int, bench: str) -> SimStats:
-        """Stats of one cell by (machine index, memory index, benchmark)."""
+    def stats(self, machine: int, memory: int, bench: str) -> SimStats | None:
+        """Stats of one cell by (machine index, memory index, benchmark);
+        ``None`` when the cell failed under a tolerant policy."""
         return self.results[(machine, memory, bench)]
 
-    def suite_stats(self, machine: int, memory: int, token: str) -> list[SimStats]:
-        """Per-benchmark stats of one workload token's suite."""
+    def suite_stats(
+        self, machine: int, memory: int, token: str
+    ) -> list[SimStats | None]:
+        """Per-benchmark stats of one workload token's suite (``None``
+        entries mark failed cells)."""
         return [self.stats(machine, memory, b) for b in self.workloads[token]]
 
     def mean_ipc(self, machine: int, memory: int, token: str) -> float:
-        """Arithmetic-mean IPC over the token's suite (the paper's metric)."""
+        """Arithmetic-mean IPC over the token's suite (the paper's metric).
+
+        Failed cells are skipped, matching :func:`repro.experiments
+        .common.mean_ipc`'s partial-grid aggregation.
+        """
         return mean_ipc(self.suite_stats(machine, memory, token))
+
+    def suite_failures(
+        self, machine: int, memory: int, token: str
+    ) -> list[CellFailure]:
+        """The failures, if any, among one workload token's suite cells."""
+        return [
+            self.failures[(machine, memory, b)]
+            for b in self.workloads[token]
+            if (machine, memory, b) in self.failures
+        ]
 
 
 def sweep_grid(
@@ -328,6 +355,10 @@ def sweep_grid(
         for memory in memories
         for bench in benches
     ]
+    report = active_report()
+    if report is None:
+        report = FailureReport()
+    seen_failures = len(report.failures)
     flat = run_cells(
         cells,
         instructions,
@@ -337,6 +368,7 @@ def sweep_grid(
         store=store,
         force=force,
         max_cycles=spec.max_cycles,
+        report=report,
     )
     grid = SweepGrid(
         spec=spec,
@@ -347,12 +379,19 @@ def sweep_grid(
         workloads=workloads,
         benches=benches,
     )
+    coords: list[tuple[int, int, str]] = []
     index = 0
     for mi in range(len(machines)):
         for gi in range(len(memories)):
             for bench in benches:
                 grid.results[(mi, gi, bench)] = flat[index]
+                coords.append((mi, gi, bench))
                 index += 1
+    # Map this grid's final failures (appended during the run_cells call
+    # above) back to grid coordinates via each failure's flat cell index.
+    for failure in report.failures[seen_failures:]:
+        if 0 <= failure.index < len(coords):
+            grid.failures[coords[failure.index]] = failure
     return grid
 
 
@@ -368,13 +407,17 @@ def adhoc_groups(result: ExperimentResult) -> dict[str, dict[str, float]]:
     tokens = {str(row[2]) for row in result.rows}
     groups: dict[str, dict[str, float]] = {}
     for row in result.rows:
+        try:
+            value = float(row[3])
+        except (TypeError, ValueError):
+            continue  # "n/a (failed: ...)" rows carry no plottable value
         parts = []
         if len(memories) > 1:
             parts.append(str(row[1]))
         if len(tokens) > 1:
             parts.append(str(row[2]))
         series = " / ".join(parts) or "mean IPC"
-        groups.setdefault(str(row[0]), {})[series] = float(row[3])
+        groups.setdefault(str(row[0]), {})[series] = value
     return groups
 
 
@@ -416,16 +459,24 @@ def run_sweep(
         for mi, machine in enumerate(grid.machines):
             for gi, memory in enumerate(grid.memories):
                 for token in grid.workloads:
-                    ipcs = [s.ipc for s in grid.suite_stats(mi, gi, token)]
-                    result.rows.append(
-                        [
-                            machine.label,
-                            memory.name,
-                            token,
+                    ipcs = [
+                        s.ipc
+                        for s in grid.suite_stats(mi, gi, token)
+                        if s is not None
+                    ]
+                    if ipcs:
+                        cols = [
                             round(sum(ipcs) / len(ipcs), 3),
                             round(min(ipcs), 3),
                             round(max(ipcs), 3),
                         ]
+                    else:
+                        kinds = sorted(
+                            {f.kind for f in grid.suite_failures(mi, gi, token)}
+                        ) or ["unknown"]
+                        cols = [f"n/a (failed: {', '.join(kinds)})", "n/a", "n/a"]
+                    result.rows.append(
+                        [machine.label, memory.name, token, *cols]
                     )
         for gi, memory in enumerate(grid.memories):
             for token in grid.workloads:
@@ -441,6 +492,13 @@ def run_sweep(
         f"memory system(s) x {len(grid.benches)} benchmark(s), "
         f"{grid.instructions} instructions per cell"
     )
+    if grid.failures:
+        result.notes.append(
+            f"{len(grid.failures)} cell(s) failed and were excluded from "
+            "the aggregates above:"
+        )
+        for failure in grid.failures.values():
+            result.notes.append(f"  failed: {failure.describe()}")
     return result
 
 

@@ -1,0 +1,168 @@
+"""Failure taxonomy and machine-readable failure reporting.
+
+Every cell execution attempt resolves to one of four outcomes:
+
+- ``ok`` — the cell simulated and its stats were persisted;
+- ``retryable`` — a transient error or a dead worker; the cell is
+  requeued while retry budget remains, and only becomes a final
+  :class:`CellFailure` of kind ``retryable`` once the budget is spent;
+- ``permanent`` — a deterministic error (:class:`DeadlockError
+  <repro.pipeline.core.DeadlockError>`, a modelling bug, a corrupt trace
+  file); retrying cannot help, the cell fails immediately;
+- ``timeout`` — the wall-clock deadline expired; the worker is killed
+  and the cell requeued while budget remains.
+
+A :class:`FailureReport` aggregates the final failures plus supervision
+counters for one CLI invocation (or one :func:`run_cells
+<repro.experiments.common.run_cells>` call); ``--failures-json`` dumps
+it via :meth:`FailureReport.to_dict`.  :class:`CellExecutionError` is
+raised when the failure budget (``--max-failures``) is exhausted and
+always names the offending cell spec.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+#: Final outcome kinds (``ok`` never appears in a failure record).
+OK = "ok"
+RETRYABLE = "retryable"
+PERMANENT = "permanent"
+TIMEOUT = "timeout"
+
+
+def cell_label(config, bench, memory) -> str:
+    """Human name of one grid cell: ``machine × workload × memory``."""
+    machine = getattr(config, "name", None) or str(config)
+    mem = getattr(memory, "name", None) or str(memory)
+    return f"{machine} × {bench} × {mem}"
+
+
+@dataclass
+class CellFailure:
+    """One cell that ran out of attempts (or never deserved any)."""
+
+    #: Index of the cell in the submitted grid (input order).
+    index: int
+    #: Human cell spec (``machine × workload × memory``).
+    cell: str
+    #: Final outcome kind: ``retryable``, ``permanent`` or ``timeout``.
+    kind: str
+    #: Exception type name (``DeadlockError``, ``WorkerDeath`` …).
+    error: str
+    #: Exception message (or a supervision summary).
+    message: str
+    #: Formatted traceback from the failing worker, when one exists.
+    traceback: str = ""
+    #: Number of attempts spent, the failing one included.
+    attempts: int = 1
+    #: Wall-clock seconds from first dispatch to the final failure.
+    duration: float = 0.0
+
+    def describe(self) -> str:
+        """One log line naming the cell, the kind and the cause."""
+        return (
+            f"{self.cell} — {self.kind} after {self.attempts} attempt(s) "
+            f"[{self.duration:.1f}s]: {self.error}: {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering for the ``--failures-json`` report."""
+        return {
+            "index": self.index,
+            "cell": self.cell,
+            "kind": self.kind,
+            "error": self.error,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+            "duration_s": round(self.duration, 3),
+        }
+
+
+#: Version of the ``--failures-json`` document shape.
+REPORT_FORMAT = 1
+
+
+@dataclass
+class FailureReport:
+    """Aggregated failures and supervision counters for one run."""
+
+    failures: list[CellFailure] = field(default_factory=list)
+    #: Cells submitted for execution (store hits never count).
+    cells: int = 0
+    #: Cells that completed with ``ok``.
+    completed: int = 0
+    #: Retry attempts dispatched (transient errors, deaths, timeouts).
+    retries: int = 0
+    #: Wall-clock deadline expiries (each kills one worker).
+    timeouts: int = 0
+    #: Worker processes that died and were respawned.
+    worker_deaths: int = 0
+
+    def record(self, failure: CellFailure) -> None:
+        """Append one final failure."""
+        self.failures.append(failure)
+
+    def merge(self, other: "FailureReport") -> None:
+        """Fold *other*'s failures and counters into this report."""
+        if other is self:
+            return
+        self.failures.extend(other.failures)
+        self.cells += other.cells
+        self.completed += other.completed
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.worker_deaths += other.worker_deaths
+
+    def to_dict(self, policy=None) -> dict:
+        """JSON-ready rendering of the whole report."""
+        data = {
+            "format": REPORT_FORMAT,
+            "cells": self.cells,
+            "completed": self.completed,
+            "failed": len(self.failures),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+        if policy is not None:
+            data["policy"] = {
+                "cell_timeout": policy.cell_timeout,
+                "retries": policy.retries,
+                "max_failures": policy.max_failures,
+            }
+        return data
+
+    def write_json(self, path: str | os.PathLike, policy=None) -> None:
+        """Write :meth:`to_dict` to *path* (the ``--failures-json`` file)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(policy), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def summary(self) -> str:
+        """One line: failure count by kind plus supervision counters."""
+        kinds: dict[str, int] = {}
+        for failure in self.failures:
+            kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+        detail = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
+        return (
+            f"{len(self.failures)} of {self.cells} cell(s) failed"
+            + (f" ({detail})" if detail else "")
+            + f"; {self.retries} retr{'y' if self.retries == 1 else 'ies'}, "
+            f"{self.worker_deaths} worker death(s), {self.timeouts} timeout(s)"
+        )
+
+
+class CellExecutionError(RuntimeError):
+    """The failure budget is exhausted; names the offending cell spec."""
+
+    def __init__(self, failure: CellFailure, report: FailureReport) -> None:
+        super().__init__(f"cell {failure.describe()}")
+        #: The failure that blew the budget.
+        self.failure = failure
+        #: The full report up to (and including) that failure.
+        self.report = report

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from repro.fingerprint import CANON_VERSION, canonical, digest
+from repro.resilience.faults import plan_from_env
 from repro.sim.stats import STATS_SCHEMA_VERSION, SimStats
 
 #: On-disk entry envelope version (distinct from the stats schema).
@@ -126,7 +127,17 @@ class ResultStore:
         return stats
 
     def put(self, key: CellKey, stats: SimStats) -> Path:
-        """Atomically persist *stats* under *key* (overwrites)."""
+        """Atomically and durably persist *stats* under *key* (overwrites).
+
+        The temp file is fsynced before ``os.replace`` and the object
+        directory after it, so a host crash right after ``put`` returns
+        cannot leave a zero-length or half-written entry behind — the
+        rename is only published once the bytes are on disk.  A
+        ``store:corrupt`` fault clause (``$REPRO_FAULT``, chaos tests
+        only) truncates the serialized entry on its way to disk, keyed
+        by ``<digest>#<write counter>`` so a clean follow-up run
+        self-heals the damaged cell.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         stats_dict = stats.to_dict()
@@ -137,11 +148,33 @@ class ResultStore:
             "stats": stats_dict,
             "stats_digest": digest(stats_dict),
         }
+        text = json.dumps(entry, sort_keys=True)
+        plan = plan_from_env()
+        if plan is not None:
+            text = plan.corrupt_store_text(f"{key.digest}#{self.writes}", text)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        self._fsync_dir(path.parent)
         self.writes += 1
         return path
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Flush a directory entry so a completed rename survives a crash."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-specific
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+        finally:
+            os.close(fd)
 
     # ------------------------------------------------------------------
     # Maintenance: stats / prune / verify
@@ -222,11 +255,25 @@ class ResultStore:
                 removed += 1
         return removed
 
+    def quarantine_entry(self, path: Path) -> Path:
+        """Move one entry file to ``<root>/.quarantine/`` and return it.
+
+        Quarantined entries are out of the lookup path (``get`` never
+        sees them) but preserved byte-for-byte for post-mortems, unlike
+        ``prune`` which deletes the evidence.
+        """
+        dest_dir = self.root / ".quarantine"
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        dest = dest_dir / path.name
+        os.replace(path, dest)
+        return dest
+
     def verify(
         self,
         compute: Callable[[dict], SimStats],
         sample: int | None = None,
         rng_seed: int | None = 0,
+        quarantine: bool = False,
     ) -> list[dict]:
         """Re-run stored cells and diff against their cached stats.
 
@@ -238,19 +285,34 @@ class ResultStore:
         a different stats schema are skipped: get() already never serves
         them (prune removes them), so re-simulating could only produce a
         false alarm.
+
+        With *quarantine* set, corrupt and schema-stale entries are
+        moved to ``<root>/.quarantine/`` (via :meth:`quarantine_entry`)
+        instead of being silently skipped, and reported with status
+        ``quarantined``.
         """
-        checked = [
-            (p, e)
-            for p, e in self.iter_entries()
-            if e is not None
-            and e.get("key", {}).get("schema") == STATS_SCHEMA_VERSION
-        ]
+        checked: list[tuple[Path, dict]] = []
+        quarantined: list[dict] = []
+        for p, e in self.iter_entries():
+            healthy = (
+                e is not None
+                and e.get("key", {}).get("schema") == STATS_SCHEMA_VERSION
+            )
+            if healthy:
+                checked.append((p, e))
+            elif quarantine:
+                reason = "corrupt entry" if e is None else "stale stats schema"
+                dest = self.quarantine_entry(p)
+                quarantined.append(
+                    {"digest": p.stem, "cell": "?", "status": "quarantined",
+                     "detail": f"{reason}; moved to {dest}"}
+                )
         if sample is not None and sample < len(checked):
             # rng_seed=None draws fresh entropy, so repeated sampled
             # verifies cover different cells over time.
             rng = random.Random(rng_seed)
             checked = rng.sample(checked, sample)
-        reports = []
+        reports = quarantined
         for path, entry in checked:
             key = entry["key"]
             label = "{}/{}/n={}".format(

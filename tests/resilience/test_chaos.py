@@ -1,0 +1,109 @@
+"""Chaos battery: injected faults must not change final grid contents.
+
+Every test runs a real (tiny) sweep twice — once clean, once under a
+``REPRO_FAULT`` plan — and asserts the surviving results are
+bit-identical.  Determinism is the whole point of the harness: the same
+plan fires on the same attempts every run, and a healed cell must
+produce exactly the stats a fault-free run would have.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import Scale, WorkloadPool, run_cells
+from repro.experiments.sweep import SweepSpec, sweep_grid
+from repro.machines import parse_machine
+from repro.memory import DEFAULT_MEMORY
+from repro.resilience import (
+    ExecutionPolicy,
+    FailureReport,
+    resilience_context,
+)
+from repro.store import ResultStore
+
+TINY = SweepSpec(
+    name="chaos-tiny",
+    machines=("r10(rob=32)",),
+    workloads=("mcf", "swim"),
+    instructions=400,
+)
+
+#: Generous retry budget + near-zero backoff: chaos runs heal fast.
+HEALING = ExecutionPolicy(retries=8, backoff_base=0.001, max_failures=0)
+
+
+def _grid_dict(grid):
+    return {key: stats.to_dict() for key, stats in grid.results.items()}
+
+
+@pytest.fixture
+def clean_grid():
+    return _grid_dict(sweep_grid(TINY, Scale.QUICK, jobs=2))
+
+
+def test_chaos_worker_kills_leave_the_grid_bit_identical(clean_grid, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT", "cell:kill:0.4,seed=11")
+    with resilience_context(HEALING) as report:
+        chaos = sweep_grid(TINY, Scale.QUICK, jobs=2)
+    assert _grid_dict(chaos) == clean_grid
+    assert not report.failures
+    assert report.worker_deaths > 0  # the plan actually fired
+
+
+def test_chaos_transient_storm_heals_bit_identically(clean_grid, monkeypatch):
+    monkeypatch.setenv(
+        "REPRO_FAULT", "cell:transient:0.5,cell:delay:0.3:0.01,seed=5"
+    )
+    with resilience_context(HEALING) as report:
+        chaos = sweep_grid(TINY, Scale.QUICK, jobs=2)
+    assert _grid_dict(chaos) == clean_grid
+    assert not report.failures
+    assert report.retries > 0
+
+
+def test_chaos_mixed_kill_and_transient(clean_grid, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT", "cell:kill:0.2,cell:transient:0.2,seed=2")
+    with resilience_context(HEALING) as report:
+        chaos = sweep_grid(TINY, Scale.QUICK, jobs=2)
+    assert _grid_dict(chaos) == clean_grid
+    assert not report.failures
+
+
+def test_chaos_store_corruption_self_heals_on_the_next_run(
+    clean_grid, tmp_path, monkeypatch
+):
+    store = ResultStore(tmp_path / "store")
+    # Corrupt the very first write (token "<digest>#0") down to zero
+    # bytes — the file a crash between write and fsync would leave.
+    monkeypatch.setenv("REPRO_FAULT", "store:corrupt@#0:1.0:0")
+    first = sweep_grid(TINY, Scale.QUICK, jobs=2, store=store)
+    assert _grid_dict(first) == clean_grid  # in-memory results unharmed
+    monkeypatch.delenv("REPRO_FAULT")
+    # The truncated entry reads as a miss; only that one cell recomputes.
+    healed = sweep_grid(TINY, Scale.QUICK, jobs=2, store=store)
+    assert _grid_dict(healed) == clean_grid
+    assert store.corrupt == 1
+    # And a third run is fully served from the now-healthy store.
+    writes = store.writes
+    again = sweep_grid(TINY, Scale.QUICK, jobs=2, store=store)
+    assert _grid_dict(again) == clean_grid
+    assert store.writes == writes
+
+
+def test_chaos_partial_grid_is_deterministic(monkeypatch):
+    """A permanently failing cell yields the same partial grid each run."""
+    monkeypatch.setenv("REPRO_FAULT", "cell:fail@mcf")
+    pool = WorkloadPool()
+    config = parse_machine("r10(rob=32)")
+    cells = [(config, "mcf", DEFAULT_MEMORY), (config, "swim", DEFAULT_MEMORY)]
+    tolerant = ExecutionPolicy(retries=1, backoff_base=0.001, max_failures=None)
+    outcomes = []
+    for _ in range(2):
+        report = FailureReport()
+        flat = run_cells(cells, 400, pool, jobs=2, policy=tolerant, report=report)
+        assert flat[0] is None and flat[1] is not None
+        (failure,) = report.failures
+        assert failure.kind == "permanent" and "mcf" in failure.cell
+        outcomes.append(flat[1].to_dict())
+    assert outcomes[0] == outcomes[1]

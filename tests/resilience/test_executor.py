@@ -1,0 +1,268 @@
+"""The resilient executor: retries, deadlines, worker supervision, budget."""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.resilience import (
+    PERMANENT,
+    RETRYABLE,
+    STRICT,
+    TIMEOUT,
+    CellExecutionError,
+    ExecutionPolicy,
+    FailureReport,
+    ResilientExecutor,
+    TransientCellError,
+    active_policy,
+    active_report,
+    classify_exception,
+    resilience_context,
+    run_attempts,
+)
+
+# ----------------------------------------------------------------------
+# Worker bodies (module-level so they survive any pickling start method)
+# ----------------------------------------------------------------------
+
+
+def _double(payload):
+    return payload * 2
+
+
+def _fail_on_three(payload):
+    if payload == 3:
+        raise ValueError("three is right out")
+    return payload
+
+
+def _transient_until_marker(payload):
+    marker, value = payload
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        raise TransientCellError("first attempt is unlucky")
+    return value
+
+
+def _die_until_marker(payload):
+    marker, value = payload
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(137)
+    return value
+
+
+def _always_die(payload):
+    os._exit(1)
+
+
+def _sleep_forever(payload):
+    time.sleep(60)
+
+
+def _sleep_if_negative(payload):
+    if payload < 0:
+        time.sleep(60)
+    return payload
+
+
+def _tasks(payloads):
+    return [(i, f"cell-{i}", p) for i, p in enumerate(payloads)]
+
+
+# ----------------------------------------------------------------------
+# Policy and classification
+# ----------------------------------------------------------------------
+
+
+def test_classify_exception_taxonomy():
+    from repro.pipeline import DeadlockError
+
+    assert classify_exception(TransientCellError("x")) == RETRYABLE
+    assert classify_exception(ConnectionError("x")) == RETRYABLE
+    assert classify_exception(DeadlockError("stuck")) == PERMANENT
+    assert classify_exception(ValueError("x")) == PERMANENT
+
+
+def test_backoff_is_exponential_capped_and_jittered():
+    policy = ExecutionPolicy(backoff_base=0.1, backoff_cap=0.5)
+    rng = random.Random(0)
+    for attempt, ceiling in [(1, 0.1), (2, 0.2), (3, 0.4), (4, 0.5), (9, 0.5)]:
+        for _ in range(16):
+            delay = policy.backoff(attempt, rng)
+            assert ceiling / 2 <= delay <= ceiling
+    assert ExecutionPolicy(backoff_base=0).backoff(5, rng) == 0.0
+
+
+def test_strict_policy_is_fail_fast():
+    assert STRICT.max_failures == 0
+    assert STRICT.cell_timeout is None
+
+
+def test_resilience_context_nests_and_restores():
+    assert active_policy() is STRICT and active_report() is None
+    tolerant = ExecutionPolicy(max_failures=None)
+    with resilience_context(tolerant) as report:
+        assert active_policy() is tolerant and active_report() is report
+        inner = ExecutionPolicy(retries=9)
+        with resilience_context(inner, report) as inner_report:
+            assert active_policy() is inner and inner_report is report
+        assert active_policy() is tolerant
+    assert active_policy() is STRICT and active_report() is None
+
+
+# ----------------------------------------------------------------------
+# run_attempts (the serial twin)
+# ----------------------------------------------------------------------
+
+
+def test_run_attempts_ok_path_counts_completed():
+    report = FailureReport()
+    assert run_attempts(0, "cell", lambda: 42, STRICT, report) == 42
+    assert report.completed == 1 and report.cells == 1 and not report.failures
+
+
+def test_run_attempts_retries_transient_then_succeeds():
+    report = FailureReport()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        if len(calls) < 3:
+            raise TransientCellError("flaky")
+        return "done"
+
+    naps = []
+    policy = ExecutionPolicy(retries=2)
+    result = run_attempts(0, "cell", compute, policy, report, sleep=naps.append)
+    assert result == "done" and len(calls) == 3
+    assert report.retries == 2 and len(naps) == 2 and not report.failures
+
+
+def test_run_attempts_permanent_failure_never_retries():
+    report = FailureReport()
+    policy = ExecutionPolicy(retries=5, max_failures=None)
+
+    def compute():
+        raise ValueError("deterministic bug")
+
+    assert run_attempts(0, "the × cell", compute, policy, report) is None
+    (failure,) = report.failures
+    assert failure.kind == PERMANENT and failure.attempts == 1
+    assert failure.error == "ValueError" and "the × cell" in failure.describe()
+    assert report.retries == 0
+
+
+def test_run_attempts_budget_exhaustion_raises_naming_the_cell():
+    report = FailureReport()
+
+    def compute():
+        raise ValueError("boom")
+
+    with pytest.raises(CellExecutionError, match="m × w × g"):
+        run_attempts(0, "m × w × g", compute, STRICT, report)
+    assert len(report.failures) == 1
+
+
+# ----------------------------------------------------------------------
+# ResilientExecutor (the supervised pool)
+# ----------------------------------------------------------------------
+
+
+def test_executor_runs_all_tasks_and_streams_results():
+    report = FailureReport()
+    streamed = []
+    executor = ResilientExecutor(_double, jobs=2, report=report)
+    results = executor.run(
+        _tasks([1, 2, 3, 4]), on_result=lambda i, r: streamed.append((i, r))
+    )
+    assert results == {0: 2, 1: 4, 2: 6, 3: 8}
+    assert sorted(streamed) == [(0, 2), (1, 4), (2, 6), (3, 8)]
+    assert report.completed == 4 and report.cells == 4 and not report.failures
+
+
+def test_executor_permanent_failure_is_tolerated_under_budget():
+    report = FailureReport()
+    policy = ExecutionPolicy(max_failures=None)
+    executor = ResilientExecutor(_fail_on_three, jobs=2, policy=policy, report=report)
+    results = executor.run(_tasks([1, 2, 3, 4]))
+    assert results == {0: 1, 1: 2, 3: 4}  # index 2 (payload 3) is absent
+    (failure,) = report.failures
+    assert failure.index == 2 and failure.kind == PERMANENT
+    assert failure.error == "ValueError" and "cell-2" in failure.cell
+    assert "three is right out" in failure.message
+    assert "three is right out" in failure.traceback
+
+
+def test_executor_strict_budget_aborts_but_keeps_streamed_results():
+    report = FailureReport()
+    streamed = []
+    executor = ResilientExecutor(_fail_on_three, jobs=1, report=report)
+    with pytest.raises(CellExecutionError, match="cell-2"):
+        executor.run(_tasks([1, 2, 3, 4]), on_result=lambda i, r: streamed.append(i))
+    assert streamed == [0, 1]  # jobs=1 preserves dispatch order
+    assert not executor._workers  # shutdown ran
+
+
+def test_executor_retries_transient_failures(tmp_path):
+    report = FailureReport()
+    policy = ExecutionPolicy(retries=2, backoff_base=0.001)
+    executor = ResilientExecutor(
+        _transient_until_marker, jobs=1, policy=policy, report=report
+    )
+    marker = str(tmp_path / "marker")
+    results = executor.run(_tasks([(marker, "value")]))
+    assert results == {0: "value"}
+    assert report.retries == 1 and report.completed == 1 and not report.failures
+
+
+def test_executor_respawns_dead_worker_and_requeues_its_cell(tmp_path):
+    report = FailureReport()
+    policy = ExecutionPolicy(retries=2, backoff_base=0.001)
+    executor = ResilientExecutor(
+        _die_until_marker, jobs=1, policy=policy, report=report
+    )
+    marker = str(tmp_path / "marker")
+    results = executor.run(_tasks([(marker, "survived")]))
+    assert results == {0: "survived"}
+    assert report.worker_deaths == 1 and report.retries == 1
+
+
+def test_executor_worker_death_past_budget_is_a_final_failure():
+    report = FailureReport()
+    policy = ExecutionPolicy(retries=1, max_failures=None, backoff_base=0.001)
+    executor = ResilientExecutor(_always_die, jobs=1, policy=policy, report=report)
+    results = executor.run(_tasks(["x"]))
+    assert results == {}
+    (failure,) = report.failures
+    assert failure.error == "WorkerDeath" and failure.attempts == 2
+    assert report.worker_deaths == 2  # initial attempt + one retry
+
+
+def test_executor_timeout_kills_and_fails_past_budget():
+    report = FailureReport()
+    policy = ExecutionPolicy(cell_timeout=0.3, retries=0, max_failures=None)
+    executor = ResilientExecutor(_sleep_forever, jobs=1, policy=policy, report=report)
+    start = time.monotonic()
+    results = executor.run(_tasks(["x"]))
+    assert time.monotonic() - start < 10  # nowhere near the 60s sleep
+    assert results == {}
+    (failure,) = report.failures
+    assert failure.kind == TIMEOUT and failure.error == "CellTimeout"
+    assert report.timeouts == 1
+
+
+def test_executor_timeout_only_hits_the_overdue_cell():
+    report = FailureReport()
+    policy = ExecutionPolicy(cell_timeout=0.5, retries=0, max_failures=None)
+    executor = ResilientExecutor(
+        _sleep_if_negative, jobs=2, policy=policy, report=report
+    )
+    results = executor.run(_tasks([-1, 7]))
+    assert results == {1: 7}
+    (failure,) = report.failures
+    assert failure.index == 0 and failure.kind == TIMEOUT

@@ -1,0 +1,107 @@
+"""The fault-injection grammar: parsing, determinism, injection actions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.faults import (
+    FaultClause,
+    FaultPlan,
+    FaultSpecError,
+    InjectedFailure,
+    TransientCellError,
+    plan_from_env,
+)
+
+
+def test_parse_full_grammar():
+    plan = FaultPlan.parse("cell:kill:0.1,store:corrupt@#0:1.0:0,seed=7")
+    assert plan.seed == 7
+    assert plan.clauses == (
+        FaultClause("cell", "kill", 0.1),
+        FaultClause("store", "corrupt", 1.0, "#0", 0.0),
+    )
+
+
+def test_parse_defaults_and_match():
+    plan = FaultPlan.parse("cell:fail@mcf")
+    (clause,) = plan.clauses
+    assert clause.probability == 1.0 and clause.match == "mcf"
+    assert clause.param is None
+    assert plan.seed == 0
+
+
+@pytest.mark.parametrize(
+    ("text", "message"),
+    [
+        ("disk:eject", "unknown fault site"),
+        ("cell:explode", "unknown cell fault action"),
+        ("store:kill", "unknown store fault action"),
+        ("cell:kill:maybe", "malformed number"),
+        ("cell:kill:1.5", "probability"),
+        ("cell:delay:1.0:-2", "non-negative"),
+        ("cell", "malformed fault clause"),
+        ("cell:kill:0.5:1:2", "malformed fault clause"),
+        ("seed=soon", "seed must be an integer"),
+    ],
+)
+def test_parse_rejects_malformed_clauses(text, message):
+    with pytest.raises(FaultSpecError, match=message):
+        FaultPlan.parse(text)
+
+
+def test_decisions_are_deterministic_functions_of_seed_and_token():
+    plan = FaultPlan.parse("cell:kill:0.5,seed=3")
+    clause = plan.clauses[0]
+    tokens = [f"cell-{i}#0" for i in range(64)]
+    first = [plan._fires(clause, t) for t in tokens]
+    assert first == [plan._fires(clause, t) for t in tokens]  # stable
+    assert any(first) and not all(first)  # p=0.5 actually splits
+    other = FaultPlan.parse("cell:kill:0.5,seed=4")
+    assert first != [other._fires(other.clauses[0], t) for t in tokens]
+
+
+def test_retries_reroll_because_the_attempt_is_in_the_token():
+    plan = FaultPlan.parse("cell:kill:0.5,seed=1")
+    clause = plan.clauses[0]
+    decisions = {plan._fires(clause, f"cell-a#{attempt}") for attempt in range(16)}
+    assert decisions == {True, False}
+
+
+def test_match_filter_targets_cells():
+    plan = FaultPlan.parse("cell:fail@mcf")
+    with pytest.raises(InjectedFailure, match="R10-64 × mcf"):
+        plan.inject_cell("R10-64 × mcf × default", attempt=0)
+    plan.inject_cell("R10-64 × swim × default", attempt=0)  # no fire
+
+
+def test_transient_action_raises_retryable_error():
+    plan = FaultPlan.parse("cell:transient")
+    with pytest.raises(TransientCellError, match="attempt 2"):
+        plan.inject_cell("any-cell", attempt=2)
+
+
+def test_delay_action_sleeps_for_the_param(monkeypatch):
+    naps = []
+    monkeypatch.setattr("repro.resilience.faults.time.sleep", naps.append)
+    FaultPlan.parse("cell:delay:1.0:0.5").inject_cell("c", 0)
+    FaultPlan.parse("cell:delay").inject_cell("c", 0)
+    assert naps == [0.5, 0.02]
+
+
+def test_corrupt_store_text_truncates_matching_writes():
+    plan = FaultPlan.parse("store:corrupt@#0:1.0:0")
+    text = '{"stats": "x"}'
+    assert plan.corrupt_store_text("abcdef#0", text) == ""
+    assert plan.corrupt_store_text("abcdef#1", text) == text  # counter moved on
+    half = FaultPlan.parse("store:corrupt:1.0:0.5")
+    assert half.corrupt_store_text("abcdef#0", text) == text[: len(text) // 2]
+
+
+def test_plan_from_env_parses_and_defaults():
+    assert plan_from_env({}) is None
+    assert plan_from_env({"REPRO_FAULT": "  "}) is None
+    plan = plan_from_env({"REPRO_FAULT": "cell:kill:0.1,seed=9"})
+    assert plan.seed == 9 and plan.clauses[0].action == "kill"
+    with pytest.raises(FaultSpecError):
+        plan_from_env({"REPRO_FAULT": "warp:core-breach"})

@@ -1,0 +1,123 @@
+"""Store durability: fsynced writes, corrupt-write injection, quarantine."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import cli
+from repro.experiments.common import WorkloadPool, compute_cell
+from repro.memory import DEFAULT_MEMORY
+from repro.sim.config import R10_64
+from repro.sim.runner import run_core
+from repro.sim.stats import STATS_SCHEMA_VERSION
+from repro.store import ResultStore, cell_key
+
+
+@pytest.fixture
+def pool():
+    return WorkloadPool()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def _one_cell(pool):
+    workload = pool.get("swim")
+    key = cell_key(R10_64, workload, 600, DEFAULT_MEMORY)
+    stats = run_core(R10_64, workload, 600, memory=DEFAULT_MEMORY)
+    return key, stats
+
+
+def test_put_fsyncs_the_entry_and_its_directory(store, pool, monkeypatch):
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd)))
+    key, stats = _one_cell(pool)
+    store.put(key, stats)
+    # One fsync for the temp file's bytes, one for the directory entry
+    # publishing the rename — both must land before put() returns.
+    assert len(synced) == 2
+    assert store.get(key) == stats
+
+
+def test_injected_corrupt_write_reads_as_a_miss_and_heals(
+    store, pool, monkeypatch
+):
+    key, stats = _one_cell(pool)
+    monkeypatch.setenv("REPRO_FAULT", "store:corrupt@#0:1.0:0")
+    path = store.put(key, stats)
+    assert path.read_text() == ""  # truncated to the crash-torn zero bytes
+    assert store.get(key) is None and store.corrupt == 1
+    # The injection is keyed by the write counter, so the re-put after
+    # the miss lands clean even with the fault plan still active.
+    store.put(key, stats)
+    assert store.get(key) == stats
+
+
+def test_partial_truncation_is_also_a_miss(store, pool, monkeypatch):
+    key, stats = _one_cell(pool)
+    monkeypatch.setenv("REPRO_FAULT", "store:corrupt:1.0:0.5")
+    store.put(key, stats)
+    assert store.get(key) is None and store.corrupt == 1
+
+
+def test_verify_quarantines_corrupt_and_stale_entries(store, pool):
+    key, stats = _one_cell(pool)
+    good = store.put(key, stats)
+    bad = good.parent / ("0" * 64 + ".json")
+    bad.write_text("{ not json")
+    stale = good.parent / ("1" * 64 + ".json")
+    entry = json.loads(good.read_text())
+    entry["key"]["schema"] = STATS_SCHEMA_VERSION - 1
+    entry["digest"] = stale.stem
+    from repro.fingerprint import digest as digest_of
+
+    entry["stats_digest"] = digest_of(entry["stats"])
+    stale.write_text(json.dumps(entry))
+
+    reports = store.verify(compute_cell, quarantine=True)
+    by_status = {}
+    for report in reports:
+        by_status.setdefault(report["status"], []).append(report)
+    assert len(by_status["quarantined"]) == 2
+    assert len(by_status["ok"]) == 1
+    assert not bad.exists() and not stale.exists()
+    quarantine_dir = store.root / ".quarantine"
+    assert sorted(p.name for p in quarantine_dir.iterdir()) == [
+        bad.name, stale.name,
+    ]
+    # Quarantined files keep their bytes for post-mortems.
+    assert (quarantine_dir / bad.name).read_text() == "{ not json"
+    # The good entry is untouched and still serves lookups.
+    assert store.get(key) == stats
+
+
+def test_verify_without_quarantine_leaves_entries_in_place(store, pool):
+    key, stats = _one_cell(pool)
+    good = store.put(key, stats)
+    bad = good.parent / ("0" * 64 + ".json")
+    bad.write_text("garbage")
+    reports = store.verify(compute_cell)
+    assert [r["status"] for r in reports] == ["ok"]
+    assert bad.exists()
+    assert not (store.root / ".quarantine").exists()
+
+
+def test_cli_cache_verify_quarantine(tmp_path, capsys, pool):
+    store = ResultStore(tmp_path / "store")
+    key, stats = _one_cell(pool)
+    good = store.put(key, stats)
+    (good.parent / ("0" * 64 + ".json")).write_text("garbage")
+    code = cli.main(
+        ["cache", "verify", "--quarantine", "--store", str(store.root)]
+    )
+    assert code == 0  # quarantining is remediation, not failure
+    out = capsys.readouterr().out
+    assert "verified 1 cell(s), 0 stale/errored" in out
+    assert "quarantined 1 corrupt/stale entrie(s)" in out
+    assert (store.root / ".quarantine" / ("0" * 64 + ".json")).exists()
