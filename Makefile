@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke workload-smoke chaos-smoke
+.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke workload-smoke chaos-smoke simpoint-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -51,6 +51,22 @@ workload-smoke:
 	  --machines "dkip(llib=1024)" \
 	  --workloads "synth(chase=4),synth(chase=16)" \
 	  --scale quick --instructions 2000 --store .workload-store \
+	  | grep ", 0 simulated"
+
+# The SimPoint pipeline end to end: capture a small trace, select
+# weighted phases (writing the .toml phase spec), then run the phase
+# sweep cold and warm against .simpoint-store (the warm run simulates
+# zero cells — every phase cell resumes from the store).  The same
+# check gates in CI.
+simpoint-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments simpoint \
+	  .simpoint-trace.trc.gz --capture mcf --instructions 8000 \
+	  --interval 1000 --k 3 --machines "dkip(llib=1024)" \
+	  --spec-out .simpoint-phases.toml
+	PYTHONPATH=src $(PYTHON) -m repro.experiments sweep \
+	  .simpoint-phases.toml --scale quick --store .simpoint-store
+	PYTHONPATH=src $(PYTHON) -m repro.experiments sweep \
+	  .simpoint-phases.toml --scale quick --store .simpoint-store \
 	  | grep ", 0 simulated"
 
 # The fault-tolerant executor under deterministic chaos: the battery in

@@ -11,6 +11,12 @@ example runs the same methodology end to end at laptop scale:
    the cluster weights;
 4. compare the estimate against simulating the entire trace.
 
+The same pipeline runs declaratively against captured trace files:
+``dkip-experiments simpoint CAP.trc.gz`` prints the phase table, the
+``phases(file=...)`` workload kind replays the selection through any
+sweep, and the ``sampling`` experiment grades the estimate for
+REPRODUCTION.md (see docs/METHODOLOGY.md).
+
 Run with::
 
     python examples/simpoint_sampling.py [workload] [instructions] [k]

@@ -18,7 +18,20 @@ Usage::
         --svg sweep.svg                            # an ad-hoc grid
     dkip-experiments sweep --machines dkip \
         --workloads "synth(chase=4),synth(chase=16)"  # workload specs
+    dkip-experiments simpoint long.trc.gz --interval 4096 --k 5 \
+        --spec-out phases.toml                     # SimPoint phase table
+    dkip-experiments simpoint cap.trc.gz --capture mcf \
+        --instructions 50000                       # synthesize + analyze
     dkip-experiments --list
+
+``simpoint`` runs the SimPoint phase analysis over a captured trace
+(optionally capturing it first with ``--capture WORKLOAD``): it slices
+the capture into ``--interval``-instruction intervals, clusters their
+basic-block vectors into ``--k`` groups, prints the weighted phase
+table, and — with ``--spec-out`` — writes a sweep scenario file whose
+``phases(...)`` workload token replays just the selected phases;
+``dkip-experiments sweep <file>`` then reports the weighted-mean IPC
+estimate per machine (see docs/METHODOLOGY.md).
 
 The result store (``--store DIR``, or the ``REPRO_STORE`` environment
 variable) makes every sweep incremental: cells already on disk are not
@@ -71,8 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=["all"],
         help="experiment names (e.g. fig9 fig12), 'all', 'report "
-        "[names...]', 'cache <cmd>', 'machines', 'workloads', or 'sweep "
-        "[preset|file.toml ...]'",
+        "[names...]', 'cache <cmd>', 'machines', 'workloads', 'sweep "
+        "[preset|file.toml ...]', or 'simpoint TRACE[.gz]'",
     )
     parser.add_argument(
         "--scale",
@@ -214,6 +227,47 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="sweep: also render the result chart as an SVG file",
+    )
+    simpoint = parser.add_argument_group(
+        "simpoint", "SimPoint phase analysis of captured traces"
+    )
+    simpoint.add_argument(
+        "--capture",
+        metavar="WORKLOAD",
+        default=None,
+        help="simpoint: synthesize the trace first by capturing this "
+        "benchmark name or workload spec (length: --instructions, "
+        "default 50000)",
+    )
+    simpoint.add_argument(
+        "--interval",
+        type=int,
+        metavar="N",
+        default=None,
+        help="simpoint: instructions per interval/phase (default: 1024)",
+    )
+    simpoint.add_argument(
+        "--k",
+        type=int,
+        metavar="K",
+        default=None,
+        help="simpoint: number of clusters, i.e. at most K selected "
+        "phases (default: 4)",
+    )
+    simpoint.add_argument(
+        "--phase-seed",
+        type=int,
+        metavar="S",
+        default=None,
+        help="simpoint: k-means clustering seed (default: 0)",
+    )
+    simpoint.add_argument(
+        "--spec-out",
+        metavar="PATH",
+        default=None,
+        help="simpoint: write a sweep scenario file (TOML) whose "
+        "phases(...) token replays the selected phases; machines come "
+        "from --machines (default: dkip)",
     )
     resilience = parser.add_argument_group(
         "resilience",
@@ -512,6 +566,108 @@ def run_sweep_command(args) -> int:
     return status
 
 
+def _write_phase_spec(path: str, phase_set, machines: list[str]) -> None:
+    """Write a sweep scenario file replaying *phase_set*'s selection.
+
+    Plain TOML written by hand (the stdlib only reads it); string values
+    go through ``json.dumps``, whose escaping is valid TOML for the
+    paths the workload grammar accepts.
+    """
+    import json
+
+    stem = os.path.splitext(os.path.basename(phase_set.path))[0]
+    stem = stem[:-4] if stem.endswith(".trc") else stem
+    title = (
+        f"SimPoint phase sweep of {os.path.basename(phase_set.path)} "
+        f"(interval={phase_set.interval}, k={phase_set.k})"
+    )
+    lines = [
+        "# Written by `dkip-experiments simpoint`; run with:",
+        f"#   dkip-experiments sweep {path} --store .repro-store",
+        f"name = {json.dumps(f'phases-{stem}')}",
+        f"title = {json.dumps(title)}",
+        f"machines = [{', '.join(json.dumps(m) for m in machines)}]",
+        f"workloads = [{json.dumps(phase_set.token())}]",
+        "# One whole interval per phase cell (the weighted estimate",
+        "# assumes complete phases).",
+        f"instructions = {phase_set.interval}",
+        "",
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+
+
+def run_simpoint_command(args) -> int:
+    """Dispatch ``dkip-experiments simpoint TRACE``: phase analysis.
+
+    Optionally captures the trace first (``--capture``), then slices,
+    clusters and prints the weighted phase table; ``--spec-out`` also
+    writes a ready-to-sweep scenario file.
+    """
+    from repro.machines import SpecError, split_specs
+    from repro.simpoint.phases import PhaseAnalysisError, analyze_trace
+    from repro.trace.io import TraceFormatError, save_trace
+    from repro.viz.ascii import table
+    from repro.workloads import get_workload
+    from repro.workloads.phases import DEFAULT_INTERVAL, DEFAULT_K
+
+    words = args.experiments[1:]
+    if len(words) != 1:
+        print(
+            "usage: dkip-experiments simpoint TRACE[.gz] [--capture "
+            "WORKLOAD] [--instructions N] [--interval N] [--k K] "
+            "[--phase-seed S] [--spec-out FILE] [--machines SPECS]",
+            file=sys.stderr,
+        )
+        return 2
+    path = words[0]
+    interval = args.interval if args.interval is not None else DEFAULT_INTERVAL
+    k = args.k if args.k is not None else DEFAULT_K
+    seed = args.phase_seed if args.phase_seed is not None else 0
+    try:
+        if args.capture:
+            length = args.instructions if args.instructions is not None else 50_000
+            written = save_trace(get_workload(args.capture), path, length)
+            print(f"captured {written} instructions of {args.capture!r} to {path}")
+        phase_set = analyze_trace(path, interval=interval, k=k, seed=seed)
+    except (PhaseAnalysisError, TraceFormatError, SpecError, ValueError,
+            OSError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(
+        table(
+            ["phase", "interval", "instructions", "weight", "workload spec"],
+            phase_set.table_rows(),
+            title=f"SimPoint phases of {path} "
+            f"[interval={interval}, k={k}, seed={seed}]",
+        )
+    )
+    print()
+    print(
+        f"capture: {phase_set.total_instructions} instructions, "
+        f"{phase_set.num_intervals} complete interval(s) of {interval}"
+    )
+    print(
+        f"selected {len(phase_set.points)} phase(s) covering "
+        f"{phase_set.coverage:.1%} of the capture; weighted-IPC estimate "
+        "= sum(weight x phase IPC)"
+    )
+    print(f"sweep token: {phase_set.token()}")
+    if args.spec_out:
+        machines = [
+            spec for chunk in args.machines or ["dkip"]
+            for spec in split_specs(chunk)
+        ]
+        try:
+            _write_phase_spec(args.spec_out, phase_set, machines)
+        except OSError as error:
+            print(f"cannot write {args.spec_out}: {error}", file=sys.stderr)
+            return 2
+        print(f"[phase spec written to {args.spec_out}]")
+        print(f"run it: dkip-experiments sweep {args.spec_out} --store DIR")
+    return 0
+
+
 def run_machines_command(args) -> int:
     """Dispatch ``dkip-experiments machines``: kinds, grammar, presets."""
     from repro.experiments.sweep import SWEEP_PRESETS
@@ -552,6 +708,12 @@ def run_workloads_command(args) -> int:
     print(
         "capture a trace for the trace(...) kind with "
         "repro.trace.io.save_trace(workload, path, n)"
+    )
+    print(
+        "turn a capture into weighted SimPoint phases with "
+        "'dkip-experiments simpoint TRACE'; the phases(...) set form "
+        "(no index=) is a sweep token that expands to one weighted "
+        "cell per selected phase"
     )
     return 0
 
@@ -626,6 +788,8 @@ def _dispatch(args, names: list[str]) -> int:
         return run_machines_command(args)
     if names and names[0] == "workloads":
         return run_workloads_command(args)
+    if names and names[0] == "simpoint":
+        return run_simpoint_command(args)
     if "all" in names:
         names = list(EXPERIMENTS)
     scale = Scale(args.scale)

@@ -490,6 +490,25 @@ def mean_ipc(stats: Sequence[SimStats | None]) -> float:
     return sum(s.ipc for s in present) / len(present)
 
 
+def weighted_mean_ipc(
+    stats: Sequence[SimStats | None], weights: Sequence[float]
+) -> float:
+    """Weighted-mean IPC — the SimPoint whole-program estimator.
+
+    *weights* align positionally with *stats* (one per phase, summing to
+    1 for a full selection).  ``None`` entries — cells that failed under
+    a tolerant execution policy — are skipped and the surviving weights
+    renormalized, mirroring :func:`mean_ipc`'s partial-grid behaviour.
+    """
+    present = [
+        (weight, s) for weight, s in zip(weights, stats) if s is not None
+    ]
+    total = sum(weight for weight, _ in present)
+    if not total:
+        return 0.0
+    return sum(weight * s.ipc for weight, s in present) / total
+
+
 @dataclass
 class ExperimentResult:
     """Everything one harness produces.

@@ -20,6 +20,7 @@ from repro.experiments import (
     fig10_scheduling,
     fig11_12_cache,
     fig13_14_occupancy,
+    simpoint_sampling,
     table1,
 )
 from repro.experiments.common import ExperimentResult, Scale
@@ -149,6 +150,13 @@ REGISTRY: dict[str, Experiment] = {
             "Floating-point LLIB instruction and register occupancy",
             "Figure 14",
             fig13_14_occupancy.SPECS["fig14"],
+        ),
+        Experiment(
+            "sampling",
+            simpoint_sampling.run,
+            "SimPoint weighted-phase estimate vs full-trace IPC",
+            "methodology (§5: SimPoint samples)",
+            simpoint_sampling.SPEC,
         ),
         # Ablations (not paper figures; design-choice studies).
         Experiment(

@@ -32,6 +32,7 @@ from repro.experiments.common import (
     run_cells,
     scale_of,
     suite_names,
+    weighted_mean_ipc,
 )
 from repro.machines import (
     SpecError,
@@ -46,7 +47,13 @@ from repro.resilience import CellFailure, FailureReport, active_report
 from repro.sim.stats import SimStats
 from repro.store import ResultStore
 from repro.viz.ascii import bar_chart
-from repro.workloads import all_names, apply_workload_params, parse_workload
+from repro.workloads import (
+    PhaseExpansion,
+    all_names,
+    apply_workload_params,
+    expand_phases,
+    parse_workload,
+)
 
 
 # ----------------------------------------------------------------------
@@ -71,9 +78,11 @@ class SweepSpec:
     *machines* and *memory* are spec strings or preset names
     (:func:`repro.machines.parse_machine` / ``parse_memory``);
     *workloads* mixes suite tokens (``"int"``, ``"fp"``, ``"all"``),
-    benchmark names, and workload specs
+    benchmark names, workload specs
     (:func:`repro.workloads.parse_workload` — ``"synth(chase=8)"``,
-    ``"trace(file=foo.trc.gz)"``); *axes* crosses extra ``key=value``
+    ``"trace(file=foo.trc.gz)"``), and SimPoint phase sets
+    (``"phases(file=foo.trc.gz,k=4)"``), which expand to one weighted
+    cell per selected phase; *axes* crosses extra ``key=value``
     parameters into every machine spec (the product of all axis values)
     and *workload_axes* does the same over every workload spec, so the
     workload side of the design space sweeps like the machine side.
@@ -243,7 +252,11 @@ def resolve_workloads(
     """Map workload tokens to workload-name tuples at *scale*.
 
     ``"int"``/``"fp"`` resolve through the scale's suite subsets,
-    ``"all"`` to both; anything else is a registered benchmark name or a
+    ``"all"`` to both; a ``phases(...)`` *set* spec (no ``index=``)
+    expands through the SimPoint analysis to its member phases — one
+    grid cell per selected interval, individually store-keyed, which is
+    what makes re-clustering with a different ``k`` reuse the phases
+    already simulated; anything else is a registered benchmark name or a
     workload spec (``"synth(chase=8)"``, ``"trace(file=...)"``), which
     resolves to its canonical name so equivalent spellings share one
     grid cell (and one store entry).
@@ -258,6 +271,8 @@ def resolve_workloads(
             resolved[text] = suite_names("int", scale) + suite_names("fp", scale)
         elif text in all_names():
             resolved[text] = (text,)
+        elif (expansion := expand_phases(text)) is not None:
+            resolved[text] = expansion.names
         else:
             try:
                 workload = parse_workload(text)
@@ -291,6 +306,9 @@ class SweepGrid:
     benches: tuple[str, ...]
     results: dict[tuple[int, int, str], SimStats | None] = field(default_factory=dict)
     failures: dict[tuple[int, int, str], CellFailure] = field(default_factory=dict)
+    #: Phase-set tokens expanded through the SimPoint analysis, keyed
+    #: like ``workloads``; their suites aggregate by cluster weight.
+    phases: dict[str, PhaseExpansion] = field(default_factory=dict)
 
     def stats(self, machine: int, memory: int, bench: str) -> SimStats | None:
         """Stats of one cell by (machine index, memory index, benchmark);
@@ -305,11 +323,21 @@ class SweepGrid:
         return [self.stats(machine, memory, b) for b in self.workloads[token]]
 
     def mean_ipc(self, machine: int, memory: int, token: str) -> float:
-        """Arithmetic-mean IPC over the token's suite (the paper's metric).
+        """Aggregate IPC of one workload token's suite.
 
-        Failed cells are skipped, matching :func:`repro.experiments
-        .common.mean_ipc`'s partial-grid aggregation.
+        Plain suites take the arithmetic mean (the paper's metric);
+        phase-set tokens take the SimPoint weighted mean — each phase's
+        IPC weighted by its cluster's share of the profiled intervals —
+        which is the whole-program estimate for the captured trace.
+        Failed cells are skipped either way, matching
+        :func:`repro.experiments.common.mean_ipc`'s partial-grid
+        aggregation (phase weights renormalize over surviving cells).
         """
+        expansion = self.phases.get(token)
+        if expansion is not None:
+            return weighted_mean_ipc(
+                self.suite_stats(machine, memory, token), expansion.weights
+            )
         return mean_ipc(self.suite_stats(machine, memory, token))
 
     def suite_failures(
@@ -338,6 +366,13 @@ def sweep_grid(
     machines = expand_machines(spec)
     memories = [parse_memory(m) for m in spec.memory]
     workloads = resolve_workloads(expand_workload_tokens(spec), scale)
+    # Phase-set tokens carry their weights out of band (the analysis is
+    # memoized, so re-expanding the already-resolved tokens is free).
+    phases = {
+        token: expansion
+        for token in workloads
+        if (expansion := expand_phases(token)) is not None
+    }
     benches = tuple(dict.fromkeys(
         bench for names in workloads.values() for bench in names
     ))
@@ -348,6 +383,18 @@ def sweep_grid(
     instructions = (
         spec.instructions if spec.instructions is not None else INSTRUCTIONS[scale]
     )
+    if phases:
+        shortest = min(e.interval for e in phases.values())
+        if spec.instructions is None:
+            # A phase cell can supply at most one interval; clamp the
+            # scale preset so default sweeps replay whole phases.
+            instructions = min(instructions, shortest)
+        elif spec.instructions > shortest:
+            raise SpecError(
+                f"sweep instructions={spec.instructions} exceeds the "
+                f"{shortest}-instruction interval of a phases(...) "
+                "workload; phase cells replay at most one interval"
+            )
     pool = pool or WorkloadPool()
     cells = [
         (machine.config, bench, memory)
@@ -378,6 +425,7 @@ def sweep_grid(
         memories=memories,
         workloads=workloads,
         benches=benches,
+        phases=phases,
     )
     coords: list[tuple[int, int, str]] = []
     index = 0
@@ -465,8 +513,10 @@ def run_sweep(
                         if s is not None
                     ]
                     if ipcs:
+                        # Weighted estimate for phase sets, plain mean
+                        # otherwise (grid.mean_ipc dispatches).
                         cols = [
-                            round(sum(ipcs) / len(ipcs), 3),
+                            round(grid.mean_ipc(mi, gi, token), 3),
                             round(min(ipcs), 3),
                             round(max(ipcs), 3),
                         ]
@@ -492,6 +542,13 @@ def run_sweep(
         f"memory system(s) x {len(grid.benches)} benchmark(s), "
         f"{grid.instructions} instructions per cell"
     )
+    for token, expansion in grid.phases.items():
+        result.notes.append(
+            f"{token}: {len(expansion.names)} weighted phase(s) out of "
+            f"{expansion.num_intervals} interval(s) — mean IPC is the "
+            f"SimPoint estimate, simulating {expansion.coverage:.1%} of "
+            "the capture"
+        )
     if grid.failures:
         result.notes.append(
             f"{len(grid.failures)} cell(s) failed and were excluded from "

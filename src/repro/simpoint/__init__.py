@@ -4,18 +4,28 @@ The paper simulates "200 million committed instructions selected using the
 SimPoint methodology" (Sherwood et al., ASPLOS 2002, reference [17]).  We
 implement that methodology at reduced scale so the same workflow —
 profile basic-block vectors, cluster them, simulate one interval per
-cluster, weight the results — can be exercised and tested:
+cluster, weight the results — runs end to end against the repository's
+own sweeps:
 
 * :mod:`repro.simpoint.bbv` — split a trace into fixed-size intervals and
   build each interval's Basic Block Vector (execution-frequency profile);
 * :mod:`repro.simpoint.kmeans` — a from-scratch k-means with the k-means++
   seeding SimPoint uses (deterministic given a seed);
 * :mod:`repro.simpoint.select` — choose the interval closest to each
-  cluster centroid and produce (interval, weight) simulation points.
+  cluster centroid and produce (interval, weight) simulation points;
+* :mod:`repro.simpoint.phases` — the pipeline over a captured trace
+  file: one streaming pass to a :class:`~repro.simpoint.phases.PhaseSet`.
+
+The selection feeds the rest of the stack through the ``phases(...)``
+workload kind (:mod:`repro.workloads.phases`): each selected interval
+replays as an ordinary store-cached sweep cell, and the sweep engine
+aggregates the per-phase IPCs with the set's weights into the SimPoint
+whole-program estimate (see ``docs/METHODOLOGY.md``).
 """
 
 from repro.simpoint.bbv import BasicBlockVectors, collect_bbvs
 from repro.simpoint.kmeans import KMeansResult, kmeans
+from repro.simpoint.phases import PhaseAnalysisError, PhaseSet, analyze_trace
 from repro.simpoint.select import SimPoint, choose_simpoints, weighted_ipc
 
 __all__ = [
@@ -23,6 +33,9 @@ __all__ = [
     "collect_bbvs",
     "KMeansResult",
     "kmeans",
+    "PhaseAnalysisError",
+    "PhaseSet",
+    "analyze_trace",
     "SimPoint",
     "choose_simpoints",
     "weighted_ipc",

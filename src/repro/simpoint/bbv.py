@@ -29,10 +29,12 @@ class BasicBlockVectors:
 
     @property
     def num_intervals(self) -> int:
+        """Number of profiled intervals (matrix rows)."""
         return self.matrix.shape[0]
 
     @property
     def num_blocks(self) -> int:
+        """Number of distinct basic blocks seen (matrix columns)."""
         return self.matrix.shape[1]
 
 

@@ -23,9 +23,11 @@ class KMeansResult:
 
     @property
     def k(self) -> int:
+        """Number of clusters (centroid rows)."""
         return self.centroids.shape[0]
 
     def cluster_sizes(self) -> np.ndarray:
+        """Population of each cluster, indexed by cluster label."""
         return np.bincount(self.labels, minlength=self.k)
 
 

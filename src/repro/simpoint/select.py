@@ -18,6 +18,7 @@ class SimPoint:
     weight: float    # fraction of intervals its cluster covers
 
     def instruction_range(self, interval_size: int) -> tuple[int, int]:
+        """Half-open ``(start, end)`` instruction span of this interval."""
         start = self.interval * interval_size
         return start, start + interval_size
 

@@ -24,11 +24,15 @@ Beyond the named benchmarks, the declarative layer
 (:mod:`repro.workloads.kinds` + :mod:`repro.workloads.spec`) makes
 workloads *data*, symmetric with :mod:`repro.machines`: a spec grammar
 (``"synth(footprint=64M,chase=8)"``, ``"trace(file=foo.trc.gz)"``), the
-parametric :class:`~repro.workloads.synth.SynthWorkload` family, and
-trace-file replay.  :func:`get_workload` accepts names and specs alike.
+parametric :class:`~repro.workloads.synth.SynthWorkload` family,
+trace-file replay, and SimPoint phase replay
+(``"phases(file=foo.trc.gz,...)"`` — :mod:`repro.workloads.phases`,
+weighted sets expanding through sweeps).  :func:`get_workload` accepts
+names and specs alike.
 """
 
 from repro.workloads.base import Workload
+from repro.workloads.phases import PhaseExpansion, PhaseWorkload, expand_phases
 from repro.workloads.kinds import (
     WorkloadKind,
     ensure_builtin_workload_kinds,
@@ -55,9 +59,12 @@ __all__ = [
     "SPECFP_NAMES",
     "SPECINT_NAMES",
     "WORKLOAD_GRAMMAR",
+    "PhaseExpansion",
+    "PhaseWorkload",
     "Workload",
     "WorkloadKind",
     "all_names",
+    "expand_phases",
     "apply_workload_params",
     "benchmark_class",
     "ensure_builtin_workload_kinds",

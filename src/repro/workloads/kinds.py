@@ -11,7 +11,9 @@ handles the surrounding grammar).  Built-in kinds:
 * ``synth`` — the parametric synthetic family whose traits map onto the
   paper's locality/MLP knobs (:mod:`repro.workloads.synth`);
 * ``trace`` — replay of a captured trace file
-  (:mod:`repro.workloads.tracefile`).
+  (:mod:`repro.workloads.tracefile`);
+* ``phases`` — replay of SimPoint-selected trace phases, single phases
+  directly and weighted sets through sweeps (:mod:`repro.workloads.phases`).
 
 Kinds register themselves from the module that owns their constructor at
 import time; :func:`ensure_builtin_workload_kinds` imports those modules
@@ -55,6 +57,7 @@ _BUILTIN_MODULES = (
     "repro.workloads.registry",   # the `bench` kind (named benchmarks)
     "repro.workloads.synth",
     "repro.workloads.tracefile",
+    "repro.workloads.phases",
 )
 
 

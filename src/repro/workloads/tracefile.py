@@ -47,6 +47,10 @@ class TraceFileWorkload(Workload):
     suite = "trace"
     description = "replays a captured repro-trace file"
     trace_version = 1
+    #: Kind word and grammar quoted in construction-time errors;
+    #: subclasses replaying through other grammars (``phases``) override.
+    spec_kind = "trace"
+    spec_grammar = TRACE_GRAMMAR
 
     def __init__(self, path: str | os.PathLike, seed: int = 0) -> None:
         self.path = os.fspath(path)
@@ -56,15 +60,15 @@ class TraceFileWorkload(Workload):
         bad = set(self.path) & set(",()")
         if bad:
             raise SpecError(
-                f"trace: file path {self.path!r} contains spec delimiter(s) "
-                f"{''.join(sorted(bad))!r}, which the workload grammar "
-                f"cannot round-trip; rename or link the file; "
-                f"grammar: {TRACE_GRAMMAR}"
+                f"{self.spec_kind}: file path {self.path!r} contains spec "
+                f"delimiter(s) {''.join(sorted(bad))!r}, which the workload "
+                f"grammar cannot round-trip; rename or link the file; "
+                f"grammar: {self.spec_grammar}"
             )
         if not os.path.exists(self.path):
             raise SpecError(
-                f"trace: file {self.path!r} does not exist; "
-                f"grammar: {TRACE_GRAMMAR}"
+                f"{self.spec_kind}: file {self.path!r} does not exist; "
+                f"grammar: {self.spec_grammar}"
             )
         # Instance attribute shadows the ClassVar; the name is the
         # canonical spec string, so it round-trips through the grammar

@@ -30,7 +30,8 @@ def test_registry_covers_every_table_and_figure():
         "ablation-predictor",
         "ablation-runahead",
     }
-    assert set(EXPERIMENTS) == paper | ablations
+    methodology = {"sampling"}
+    assert set(EXPERIMENTS) == paper | ablations | methodology
 
 
 def test_unknown_experiment_rejected():
@@ -87,6 +88,24 @@ def test_occupancy_runs(name):
     result = get_experiment(name)(Scale.QUICK)
     for _, max_instr, max_regs, _ in result.rows:
         assert 0 <= max_regs <= max_instr or max_instr == 0
+
+
+@pytest.mark.slow
+def test_sampling_runs(tmp_path):
+    from repro.store import ResultStore
+
+    store = ResultStore(tmp_path / "store")
+    result = get_experiment("sampling")(Scale.QUICK, store=store)
+    assert len(result.rows) == 4              # 2 benchmarks x 2 machines
+    for row in result.rows:
+        full_ipc, sampled_ipc = row[4], row[5]
+        assert full_ipc > 0 and sampled_ipc > 0
+    # No trace paths leak into the report-facing table.
+    assert not any("/" in str(cell) for row in result.rows for cell in row)
+    # Warm re-run serves every cell from the store.
+    writes = store.writes
+    get_experiment("sampling")(Scale.QUICK, store=store)
+    assert store.writes == writes
 
 
 def test_cli_list(capsys):

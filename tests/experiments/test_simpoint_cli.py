@@ -1,0 +1,88 @@
+"""The `dkip-experiments simpoint` subcommand, end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import cli
+from repro.trace.io import save_trace
+from repro.workloads import get_workload
+
+
+def test_capture_analyze_and_sweep_cold_then_warm(tmp_path, capsys):
+    """The cookbook flow: capture -> phase table -> spec file -> sweep
+    cold into a store -> warm re-run simulates zero cells."""
+    pytest.importorskip("tomllib")  # the spec file is TOML (Python >= 3.11)
+    trace = str(tmp_path / "cap.trc.gz")
+    spec = str(tmp_path / "phases.toml")
+    store = str(tmp_path / "store")
+    assert (
+        cli.main(
+            [
+                "simpoint", trace,
+                "--capture", "mcf",
+                "--instructions", "2000",
+                "--interval", "400",
+                "--k", "3",
+                "--machines", "dkip(llib=1024)",
+                "--spec-out", spec,
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "captured 2000 instructions" in out
+    assert "SimPoint phases of" in out
+    assert "sweep token: phases(" in out
+    assert f"[phase spec written to {spec}]" in out
+
+    assert cli.main(["sweep", spec, "--scale", "quick", "--store", store]) == 0
+    cold = capsys.readouterr().out
+    assert "0 cells cached" in cold
+    assert cli.main(["sweep", spec, "--scale", "quick", "--store", store]) == 0
+    assert ", 0 simulated" in capsys.readouterr().out
+
+
+def test_analyze_existing_capture_without_capture_flag(tmp_path, capsys):
+    trace = str(tmp_path / "swim.trc.gz")
+    save_trace(get_workload("swim"), trace, 1500)
+    assert cli.main(["simpoint", trace, "--interval", "300", "--k", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "1500 instructions, 5 complete interval(s)" in out
+
+
+def test_usage_errors(tmp_path, capsys):
+    # No trace word at all.
+    assert cli.main(["simpoint"]) == 2
+    assert "usage: dkip-experiments simpoint" in capsys.readouterr().err
+    # Missing file.
+    assert cli.main(["simpoint", str(tmp_path / "nope.trc")]) == 2
+    assert capsys.readouterr().err
+    # Capture shorter than one interval.
+    trace = str(tmp_path / "tiny.trc.gz")
+    assert (
+        cli.main(
+            [
+                "simpoint", trace,
+                "--capture", "eon",
+                "--instructions", "50",
+                "--interval", "100",
+            ]
+        )
+        == 2
+    )
+    assert "fewer than one complete" in capsys.readouterr().err
+
+
+def test_workloads_listing_documents_phases(capsys):
+    assert cli.main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "phases(file=" in out
+    assert "dkip-experiments simpoint" in out
+
+
+def test_help_text_mentions_simpoint(capsys):
+    with pytest.raises(SystemExit):
+        cli.main(["--help"])
+    out = capsys.readouterr().out
+    assert "simpoint" in out

@@ -1,0 +1,143 @@
+"""SimPoint phase sets through the sweep engine: expansion, weighting, store reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import Scale, weighted_mean_ipc
+from repro.experiments.sweep import (
+    SweepSpec,
+    resolve_workloads,
+    run_sweep,
+    sweep_grid,
+)
+from repro.machines import SpecError
+from repro.store import ResultStore
+from repro.trace.io import save_trace
+from repro.workloads import get_workload
+from repro.workloads.phases import expand_phases
+
+
+@pytest.fixture(scope="module")
+def capture(tmp_path_factory):
+    """A 1200-instruction mcf capture shared across the module."""
+    path = str(tmp_path_factory.mktemp("phases") / "mcf.trc.gz")
+    save_trace(get_workload("mcf"), path, 1200)
+    return path
+
+
+def token_for(capture, k=2):
+    return f"phases(file={capture},interval=300,k={k},seed=0)"
+
+
+def test_resolve_workloads_expands_phase_sets(capture):
+    token = token_for(capture)
+    resolved = resolve_workloads((token, "mcf"), Scale.QUICK)
+    expansion = expand_phases(token)
+    assert resolved[token] == expansion.names
+    assert resolved["mcf"] == ("mcf",)
+    for name in expansion.names:
+        assert name.startswith("phases(") and "index=" in name
+
+
+def test_default_instruction_budget_clamps_to_interval(capture):
+    spec = SweepSpec(
+        name="clamp",
+        machines=("r10(rob=32)",),
+        workloads=(token_for(capture),),
+    )
+    grid = sweep_grid(spec, Scale.QUICK, jobs=1)
+    # Scale presets ask for 4000 instructions; a phase holds only 300.
+    assert grid.instructions == 300
+
+
+def test_explicit_budget_beyond_interval_is_a_clean_error(capture):
+    spec = SweepSpec(
+        name="overrun",
+        machines=("r10(rob=32)",),
+        workloads=(token_for(capture),),
+        instructions=301,
+    )
+    with pytest.raises(SpecError, match="exceeds the 300-instruction interval"):
+        sweep_grid(spec, Scale.QUICK, jobs=1)
+
+
+def test_weighted_mean_matches_hand_combination_bit_for_bit(capture):
+    """The differential proof: the grid's phase-token mean IPC equals the
+    hand-weighted combination of the per-phase cells exactly."""
+    token = token_for(capture)
+    spec = SweepSpec(
+        name="weights",
+        machines=("r10(rob=32)", "dkip(llib=1024)"),
+        workloads=(token,),
+        instructions=300,
+    )
+    grid = sweep_grid(spec, Scale.QUICK, jobs=1)
+    expansion = grid.phases[token]
+    assert sum(expansion.weights) == pytest.approx(1.0)
+    for mi in range(len(grid.machines)):
+        stats = grid.suite_stats(mi, 0, token)
+        by_hand = sum(
+            w * s.ipc for w, s in zip(expansion.weights, stats)
+        ) / sum(expansion.weights)
+        assert grid.mean_ipc(mi, 0, token) == by_hand  # bitwise, not approx
+        assert grid.mean_ipc(mi, 0, token) == weighted_mean_ipc(
+            stats, expansion.weights
+        )
+
+
+def test_phase_cells_resume_from_store(capture, tmp_path):
+    token = token_for(capture)
+    spec = SweepSpec(
+        name="resume",
+        machines=("r10(rob=32)",),
+        workloads=(token,),
+        instructions=300,
+    )
+    store = ResultStore(tmp_path / "store")
+    cold = sweep_grid(spec, Scale.QUICK, jobs=1, store=store)
+    members = len(cold.workloads[token])
+    assert store.writes == members
+    warm = sweep_grid(spec, Scale.QUICK, jobs=1, store=store)
+    assert store.writes == members  # zero re-simulations
+    assert store.hits == members
+    for bench in cold.benches:
+        assert warm.stats(0, 0, bench).to_dict() == cold.stats(0, 0, bench).to_dict()
+
+
+def test_reclustering_reuses_stored_phase_cells(capture, tmp_path):
+    """Phase-cell identity excludes k and the clustering seed, so
+    re-clustering the same capture only simulates genuinely new phases."""
+    store = ResultStore(tmp_path / "store")
+
+    def run_k(k):
+        spec = SweepSpec(
+            name=f"k{k}",
+            machines=("r10(rob=32)",),
+            workloads=(token_for(capture, k=k),),
+            instructions=300,
+        )
+        return sweep_grid(spec, Scale.QUICK, jobs=1, store=store)
+
+    first = run_k(3)
+    first_names = set(first.workloads[token_for(capture, k=3)])
+    writes_after_first = store.writes
+    assert writes_after_first == len(first_names)
+    second = run_k(2)
+    second_names = set(second.workloads[token_for(capture, k=2)])
+    # Only phases not already simulated under k=3 cost new writes.
+    assert store.writes == writes_after_first + len(second_names - first_names)
+    assert store.hits >= len(second_names & first_names)
+
+
+def test_run_sweep_notes_the_sampling_summary(capture):
+    token = token_for(capture)
+    spec = SweepSpec(
+        name="notes",
+        machines=("r10(rob=32)",),
+        workloads=(token,),
+        instructions=300,
+    )
+    result = run_sweep(spec, Scale.QUICK, jobs=1)
+    assert any("SimPoint estimate" in note for note in result.notes)
+    assert any("weighted phase(s)" in note for note in result.notes)

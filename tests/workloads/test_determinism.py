@@ -37,16 +37,22 @@ KIND_EXAMPLES = {
         "synth(fp=on,mlp=4,ilp=4,br=0.3)",
         "synth(footprint=64K,hot=16K,stride=9,stores=0.5)",
     ),
-    # trace needs a file on disk; example specs come from the fixture.
+    # trace and phases need a file on disk; specs come from the fixture.
     "trace": (),
+    "phases": (),
 }
 
 
 @pytest.fixture(scope="session")
 def trace_fixture_file(tmp_path_factory):
-    """A small captured mcf trace the ``trace`` kind's battery replays."""
+    """A small captured mcf trace the trace/phases batteries replay.
+
+    Long enough (4 x BATTERY_N) that a ``phases`` example with
+    ``interval=2*BATTERY_N, index=1`` can satisfy the battery's largest
+    request (``trace(2n)`` replays one whole interval).
+    """
     path = tmp_path_factory.mktemp("traces") / "mcf.trc.gz"
-    save_trace(get_workload("mcf"), str(path), 2 * BATTERY_N)
+    save_trace(get_workload("mcf"), str(path), 4 * BATTERY_N)
     return str(path)
 
 
@@ -57,6 +63,12 @@ def kind_examples(trace_fixture_file):
     def examples_for(name: str) -> tuple[str, ...]:
         if name == "trace":
             return (f"trace(file={trace_fixture_file})",)
+        if name == "phases":
+            interval = 2 * BATTERY_N
+            return (
+                f"phases(file={trace_fixture_file},interval={interval},index=0)",
+                f"phases(file={trace_fixture_file},interval={interval},index=1)",
+            )
         specs = KIND_EXAMPLES.get(name, ())
         assert specs, (
             f"workload kind {name!r} has no determinism-battery examples; "

@@ -1,0 +1,116 @@
+"""The phases workload kind: slice replay fidelity and spec grammar."""
+
+import pytest
+
+from repro.grammar import SpecError
+from repro.trace.io import TraceFormatError, save_trace
+from repro.workloads import get_workload, parse_workload
+from repro.workloads.phases import PhaseWorkload, expand_phases
+
+
+@pytest.fixture
+def capture(tmp_path):
+    """A 900-instruction gzipped mcf capture and its source workload."""
+    source = get_workload("mcf")
+    path = str(tmp_path / "mcf.trc.gz")
+    assert save_trace(source, path, 900) == 900
+    return path, source
+
+
+def test_phase_slice_matches_full_trace(capture):
+    path, source = capture
+    full = source.trace(900)
+    for index in range(3):
+        phase = PhaseWorkload(path, index=index, interval=300)
+        assert phase.trace(300) == full[index * 300 : (index + 1) * 300]
+
+
+def test_phase_restores_region_map(capture):
+    path, source = capture
+    phase = PhaseWorkload(path, index=1, interval=300)
+    phase.trace(300)
+    assert phase.regions == source.regions
+
+
+def test_canonical_name_round_trips(capture):
+    path, _ = capture
+    phase = PhaseWorkload(path, index=2, interval=300)
+    assert phase.name == f"phases(file={path},interval=300,index=2)"
+    rebuilt = parse_workload(phase.name)
+    assert isinstance(rebuilt, PhaseWorkload)
+    assert rebuilt.trace(300) == phase.trace(300)
+    assert rebuilt.fingerprint() == phase.fingerprint()
+
+
+def test_fingerprint_ignores_seed_but_not_geometry(capture):
+    path, _ = capture
+    base = PhaseWorkload(path, index=1, interval=300)
+    assert PhaseWorkload(path, index=1, interval=300, seed=9).fingerprint() == (
+        base.fingerprint()
+    )
+    assert PhaseWorkload(path, index=2, interval=300).fingerprint() != (
+        base.fingerprint()
+    )
+    assert PhaseWorkload(path, index=1, interval=150).fingerprint() != (
+        base.fingerprint()
+    )
+
+
+def test_overrunning_the_interval_is_a_clean_error(capture):
+    path, _ = capture
+    phase = PhaseWorkload(path, index=0, interval=300)
+    with pytest.raises(TraceFormatError, match=r"\[0, 300\)"):
+        phase.trace(301)
+
+
+def test_phase_past_end_of_capture_is_a_clean_error(capture):
+    path, _ = capture
+    phase = PhaseWorkload(path, index=9, interval=300)  # starts at 2700
+    with pytest.raises(TraceFormatError, match="index=9"):
+        phase.trace(300)
+
+
+def test_grammar_errors(capture):
+    path, _ = capture
+    with pytest.raises(SpecError, match="missing required parameter 'file'"):
+        get_workload("phases(index=0)")
+    with pytest.raises(SpecError, match="only sweeps can run"):
+        get_workload(f"phases(file={path})")
+    with pytest.raises(SpecError, match="do not apply"):
+        get_workload(f"phases(file={path},index=0,k=3)")
+    with pytest.raises(SpecError, match="unknown 'phases' parameter"):
+        get_workload(f"phases(file={path},index=0,bogus=1)")
+    with pytest.raises(SpecError, match="interval"):
+        PhaseWorkload(path, index=0, interval=0)
+    with pytest.raises(SpecError, match="index"):
+        PhaseWorkload(path, index=-1)
+
+
+def test_expand_phases_ignores_non_set_specs(capture):
+    path, _ = capture
+    assert expand_phases("mcf") is None
+    assert expand_phases(f"trace(file={path})") is None
+    assert expand_phases(f"phases(file={path},interval=300,index=1)") is None
+
+
+def test_expand_phases_builds_weighted_members(capture):
+    path, _ = capture
+    expansion = expand_phases(f"phases(file={path},interval=300,k=2)")
+    assert expansion is not None
+    assert expansion.num_intervals == 3
+    assert expansion.total_instructions == 900
+    assert len(expansion.names) == len(expansion.weights)
+    assert sum(expansion.weights) == pytest.approx(1.0)
+    assert 0.0 < expansion.coverage <= 1.0
+    for name in expansion.names:
+        member = parse_workload(name)
+        assert isinstance(member, PhaseWorkload)
+        assert member.interval == 300
+
+
+def test_expand_phases_validates_parameters(capture):
+    path, _ = capture
+    with pytest.raises(SpecError, match="unknown 'phases' parameter"):
+        expand_phases(f"phases(file={path},bogus=1)")
+    with pytest.raises(SpecError, match="missing required parameter 'file'"):
+        expand_phases("phases(k=2)")
