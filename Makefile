@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke workload-smoke chaos-smoke simpoint-smoke
+.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke workload-smoke chaos-smoke simpoint-smoke contention-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -68,6 +68,16 @@ simpoint-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments sweep \
 	  .simpoint-phases.toml --scale quick --store .simpoint-store \
 	  | grep ", 0 simulated"
+
+# The dual-core machine kind end to end: the curated co-runner x
+# predictor contention grid, cold then warm against .contention-store
+# (the warm run simulates zero cells — dual/ooo-bp configs round-trip
+# the store like every other kind).  The same check gates in CI.
+contention-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments sweep contention \
+	  --scale quick --store .contention-store
+	PYTHONPATH=src $(PYTHON) -m repro.experiments sweep contention \
+	  --scale quick --store .contention-store | grep ", 0 simulated"
 
 # The fault-tolerant executor under deterministic chaos: the battery in
 # tests/resilience/ plus one CLI run where 40% of cell attempts are

@@ -1,0 +1,123 @@
+"""Predictor-axis out-of-order core: the ``ooo-bp`` machine kind.
+
+The paper fixes the front end to a perceptron predictor (Table 2) and
+studies window mechanisms; this kind turns the predictor into the
+first-class configuration axis instead.  ``ooo-bp(bp=gshare-14)`` is the
+R10-64 pipeline behind a 2^14-entry gshare, ``bp=oracle`` the
+perfect-prediction upper bound and ``bp=static`` the always-taken lower
+bound — the bracketing pair that shows how much of the SpecINT gap of
+Figure 9 is misprediction stall rather than window exhaustion.
+
+The core itself is the unmodified :class:`~repro.baselines.ooo.R10Core`;
+only the configuration type differs, so ``ooo-bp`` cells fingerprint
+separately from ``r10`` cells even at identical parameters (the
+canonical fingerprint tags the dataclass type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.baselines.ooo import R10Core
+from repro.branch.spec import PREDICTOR_GRAMMAR, canonical_predictor
+from repro.machines.params import SpecError, parse_count, reject_unknown
+from repro.machines.presets import MachinePreset, register_preset
+from repro.machines.registry import MachineKind, register_machine
+from repro.sim.config import CoreConfig, SchedulerPolicy
+
+
+@dataclass(frozen=True)
+class OooBpConfig(CoreConfig):
+    """R10-style core whose ``predictor`` field is the swept axis.
+
+    Structurally identical to :class:`CoreConfig`; a distinct type so the
+    machine registry can attach the ``ooo-bp`` grammar and so the result
+    store keys predictor-sweep cells apart from the ``r10`` baselines.
+    """
+
+    name: str = "OOO-BP-64"
+
+
+class OooBpCore(R10Core):
+    """The R10 pipeline under an :class:`OooBpConfig`."""
+
+
+OOOBP_GRAMMAR = (
+    "ooo-bp(bp=PRED, rob=N, iq=N, lsq=N, width=N, sched=ino|ooo, name=STR); "
+    "PRED: " + PREDICTOR_GRAMMAR
+)
+_OOOBP_KEYS = frozenset({"bp", "rob", "iq", "lsq", "width", "sched", "name"})
+
+
+def _parse_ooobp(params: dict[str, str]) -> OooBpConfig:
+    """Spec params -> OooBpConfig; bare ``ooo-bp`` is R10-64 + perceptron."""
+    reject_unknown("ooo-bp", params, _OOOBP_KEYS, OOOBP_GRAMMAR)
+    try:
+        bp = canonical_predictor(params.get("bp", "perceptron"))
+    except SpecError as error:
+        raise SpecError(f"ooo-bp: {error}; grammar: {OOOBP_GRAMMAR}") from None
+    rob = parse_count("ooo-bp", "rob", params.get("rob", "64"))
+    iq = parse_count("ooo-bp", "iq", params.get("iq", "40"))
+    config = OooBpConfig(
+        name=params.get("name", f"OOO-BP-{rob}-{bp}"),
+        rob_size=rob,
+        iq_int=iq,
+        iq_fp=iq,
+        predictor=bp,
+    )
+    if "width" in params:
+        width = parse_count("ooo-bp", "width", params["width"])
+        config = replace(
+            config,
+            fetch_width=width,
+            decode_width=width,
+            issue_width=width,
+            commit_width=width,
+        )
+    if "lsq" in params:
+        config = replace(
+            config, lsq_size=parse_count("ooo-bp", "lsq", params["lsq"])
+        )
+    if "sched" in params:
+        sched = params["sched"].strip().lower()
+        if sched not in ("ino", "ooo"):
+            raise SpecError(
+                f"ooo-bp: sched={params['sched']!r} must be ino or ooo; "
+                f"grammar: {OOOBP_GRAMMAR}"
+            )
+        config = replace(config, scheduler=SchedulerPolicy(sched))
+    return config
+
+
+register_machine(
+    MachineKind(
+        name="ooo-bp",
+        config_cls=OooBpConfig,
+        build=lambda config, trace, hierarchy, predictor, stats=None: OooBpCore(
+            trace, config, hierarchy, predictor, stats
+        ),
+        parse=_parse_ooobp,
+        description="R10-style core with the branch predictor as the swept axis",
+        grammar=OOOBP_GRAMMAR,
+    )
+)
+
+#: Named predictor-axis points for the CLI and the cookbook examples.
+register_preset(
+    MachinePreset(
+        name="OOO-BP-64-gshare-14",
+        config=_parse_ooobp({"bp": "gshare-14"}),
+        kind="ooo-bp",
+        spec="ooo-bp(bp=gshare-14)",
+        provenance="predictor-axis baseline: R10-64 pipeline behind gshare-14",
+    )
+)
+register_preset(
+    MachinePreset(
+        name="OOO-BP-64-oracle",
+        config=_parse_ooobp({"bp": "oracle"}),
+        kind="ooo-bp",
+        spec="ooo-bp(bp=oracle)",
+        provenance="perfect-prediction upper bound for the predictor axis",
+    )
+)

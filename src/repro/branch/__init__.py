@@ -14,26 +14,42 @@ from repro.branch.base import BranchPredictor
 from repro.branch.perceptron import PerceptronPredictor
 from repro.branch.gshare import GSharePredictor
 from repro.branch.bimodal import BimodalPredictor
-from repro.branch.static import AlwaysTakenPredictor, NeverTakenPredictor
+from repro.branch.static import (
+    AlwaysTakenPredictor,
+    NeverTakenPredictor,
+    OraclePredictor,
+)
 
 _PREDICTORS = {
     "perceptron": PerceptronPredictor,
     "gshare": GSharePredictor,
     "bimodal": BimodalPredictor,
+    "oracle": OraclePredictor,
     "always-taken": AlwaysTakenPredictor,
     "never-taken": NeverTakenPredictor,
 }
 
 
 def make_predictor(name: str, **kwargs) -> BranchPredictor:
-    """Instantiate a predictor by name (used by configs and the CLI)."""
-    try:
-        cls = _PREDICTORS[name]
-    except KeyError:
+    """Instantiate a predictor by name (used by configs and the CLI).
+
+    Accepts both the plain family names above (with optional constructor
+    keyword arguments) and the parameterized spellings of the predictor
+    spec grammar — ``"gshare-14"``, ``"perceptron-64-16"``, ``"static"``
+    — which the ``ooo-bp``/``dual`` machine kinds store in their
+    ``predictor`` field (see :mod:`repro.branch.spec`).
+    """
+    cls = _PREDICTORS.get(name)
+    if cls is not None:
+        return cls(**kwargs)
+    if kwargs:
         raise ValueError(
-            f"unknown predictor {name!r}; available: {sorted(_PREDICTORS)}"
-        ) from None
-    return cls(**kwargs)
+            f"unknown predictor {name!r}; available: {sorted(_PREDICTORS)} "
+            "(keyword arguments require a plain family name)"
+        )
+    from repro.branch.spec import parse_predictor
+
+    return parse_predictor(name)
 
 
 __all__ = [
@@ -43,5 +59,6 @@ __all__ = [
     "BimodalPredictor",
     "AlwaysTakenPredictor",
     "NeverTakenPredictor",
+    "OraclePredictor",
     "make_predictor",
 ]

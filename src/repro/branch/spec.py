@@ -1,0 +1,129 @@
+"""The branch-predictor spec grammar.
+
+Machine kinds that expose the predictor as a configuration axis
+(``ooo-bp``, ``dual``) carry it as one compact string::
+
+    perceptron[-ENTRIES[-HISTORY]] | gshare[-BITS[-HISTORY]]
+    | bimodal[-BITS] | oracle | static | always-taken | never-taken
+
+``gshare-14`` is a 2^14-entry gshare with 14 history bits,
+``perceptron-64-16`` a 64-row perceptron over 16 history bits,
+``oracle`` the perfect upper bound and ``static`` (an alias of
+``always-taken``) the lower bound.  :func:`canonical_predictor`
+validates a spelling and returns its canonical form — what the config
+dataclasses store and fingerprint — and :func:`parse_predictor` builds
+the predictor instance.  Malformed spellings raise
+:class:`~repro.grammar.SpecError` naming this grammar, matching the
+machine-spec error convention.
+"""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchPredictor
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GSharePredictor
+from repro.branch.perceptron import PerceptronPredictor
+from repro.branch.static import (
+    AlwaysTakenPredictor,
+    NeverTakenPredictor,
+    OraclePredictor,
+)
+from repro.grammar import SpecError
+
+PREDICTOR_GRAMMAR = (
+    "perceptron[-ENTRIES[-HISTORY]] | gshare[-BITS[-HISTORY]] | "
+    "bimodal[-BITS] | oracle | static | always-taken | never-taken"
+)
+
+#: Spellings that take no numeric parameters, mapped to their canonical
+#: form (``static`` is the traditional name for the always-taken bound).
+_FIXED = {
+    "oracle": "oracle",
+    "static": "always-taken",
+    "always-taken": "always-taken",
+    "never-taken": "never-taken",
+}
+
+#: Parameterizable families and how many numeric parameters they accept.
+_FAMILIES = {"perceptron": 2, "gshare": 2, "bimodal": 1}
+
+
+def _bad(spec: str, why: str) -> SpecError:
+    return SpecError(
+        f"bad predictor spec {spec!r}: {why}; grammar: {PREDICTOR_GRAMMAR}"
+    )
+
+
+def _split(spec: str) -> tuple[str, list[int]]:
+    """Split a predictor spec into (family, numeric parameters)."""
+    text = spec.strip().lower()
+    if not text:
+        raise _bad(spec, "empty spec")
+    if text in _FIXED:
+        return _FIXED[text], []
+    parts = text.split("-")
+    family = parts[0]
+    if family not in _FAMILIES:
+        known = sorted(set(_FIXED) | set(_FAMILIES))
+        raise _bad(spec, f"unknown predictor {family!r}; known: {', '.join(known)}")
+    if len(parts) - 1 > _FAMILIES[family]:
+        raise _bad(
+            spec,
+            f"{family} takes at most {_FAMILIES[family]} numeric parameter(s)",
+        )
+    numbers = []
+    for token in parts[1:]:
+        if not token.isdigit() or int(token) <= 0:
+            raise _bad(spec, f"{token!r} is not a positive integer")
+        numbers.append(int(token))
+    return family, numbers
+
+
+def canonical_predictor(spec: str) -> str:
+    """Validate *spec* and return its canonical spelling.
+
+    The canonical form is what the machine configs store (and therefore
+    what the result store fingerprints), so equivalent spellings —
+    ``Static`` and ``always-taken``, ``gshare`` with padded whitespace —
+    share one cell.  Raises :class:`SpecError` for malformed specs,
+    including parameter combinations the predictor constructors reject
+    (e.g. a perceptron row count that is not a power of two).
+    """
+    family, numbers = _split(spec)
+    parse_predictor(spec)  # constructor-level validation
+    if not numbers:
+        return family
+    return "-".join([family, *map(str, numbers)])
+
+
+def parse_predictor(spec: str) -> BranchPredictor:
+    """Build the predictor instance a spec describes."""
+    family, numbers = _split(spec)
+    try:
+        if family == "perceptron":
+            kwargs = {}
+            if numbers:
+                kwargs["num_perceptrons"] = numbers[0]
+            if len(numbers) > 1:
+                kwargs["history_length"] = numbers[1]
+            return PerceptronPredictor(**kwargs)
+        if family == "gshare":
+            kwargs = {}
+            if numbers:
+                # One number sets both: a 2^N table with N history bits.
+                kwargs["table_bits"] = numbers[0]
+                kwargs["history_length"] = numbers[0]
+            if len(numbers) > 1:
+                kwargs["history_length"] = numbers[1]
+            return GSharePredictor(**kwargs)
+        if family == "bimodal":
+            if numbers:
+                return BimodalPredictor(table_bits=numbers[0])
+            return BimodalPredictor()
+    except ValueError as error:
+        raise _bad(spec, str(error)) from None
+    return {
+        "oracle": OraclePredictor,
+        "always-taken": AlwaysTakenPredictor,
+        "never-taken": NeverTakenPredictor,
+    }[family]()

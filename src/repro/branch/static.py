@@ -23,3 +23,24 @@ class NeverTakenPredictor(BranchPredictor):
 
     def _train(self, pc: int, taken: bool, predicted: bool) -> None:
         pass
+
+
+class OraclePredictor(BranchPredictor):
+    """Perfect direction prediction — the upper bound.
+
+    In the trace-driven cores the correct outcome is known at fetch, so
+    the oracle simply reports every prediction correct: fetch never
+    stalls on a branch and the misprediction counters stay at zero.
+    ``predict()`` (unused by the fetch path, which only calls
+    :meth:`update`) answers taken.
+    """
+
+    def update(self, pc: int, taken: bool) -> bool:
+        self.predictions += 1
+        return True
+
+    def _predict(self, pc: int) -> bool:
+        return True
+
+    def _train(self, pc: int, taken: bool, predicted: bool) -> None:
+        pass

@@ -14,6 +14,7 @@ from typing import Callable
 
 from repro.experiments import (
     ablations,
+    contention,
     fig01_02_window,
     fig03_locality,
     fig09_comparison,
@@ -157,6 +158,13 @@ REGISTRY: dict[str, Experiment] = {
             "SimPoint weighted-phase estimate vs full-trace IPC",
             "methodology (§5: SimPoint samples)",
             simpoint_sampling.SPEC,
+        ),
+        Experiment(
+            "contention",
+            contention.run,
+            "Shared-L2 contention: co-runner x predictor axes (dual kind)",
+            "extension (Figs. 11/12 methodology)",
+            contention.SPEC,
         ),
         # Ablations (not paper figures; design-choice studies).
         Experiment(

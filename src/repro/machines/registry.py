@@ -63,9 +63,11 @@ _BY_CONFIG: dict[type, MachineKind] = {}
 #: Modules that self-register the built-in kinds when imported.
 _BUILTIN_MODULES = (
     "repro.baselines.ooo",
+    "repro.baselines.ooobp",
     "repro.baselines.kilo",
     "repro.baselines.runahead",
     "repro.baselines.limit",
+    "repro.baselines.dual",
     "repro.core.dkip",
 )
 

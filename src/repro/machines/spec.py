@@ -33,7 +33,7 @@ from repro.grammar import (  # noqa: F401 - split/parse re-exported API
     split_specs,
 )
 from repro.machines.presets import get_preset
-from repro.machines.registry import get_kind
+from repro.machines.registry import ensure_builtin_kinds, get_kind
 from repro.memory.configs import DEFAULT_MEMORY, TABLE1_CONFIGS, MemoryConfig
 
 MEMORY_GRAMMAR = (
@@ -48,6 +48,9 @@ def parse_machine(spec: str):
     into its config dataclass."""
     text = spec.strip()
     if "(" not in text:
+        # Kind modules register their presets at import time, so the
+        # lazily-imported kinds must exist before the preset lookup.
+        ensure_builtin_kinds()
         preset = get_preset(text)
         if preset is not None:
             return preset.config
@@ -79,6 +82,7 @@ def apply_params(spec: str, extra: Mapping[str, str]) -> str:
     """
     text = spec.strip()
     if "(" not in text:
+        ensure_builtin_kinds()
         preset = get_preset(text)
         if preset is not None:
             text = preset.spec

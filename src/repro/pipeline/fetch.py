@@ -61,7 +61,11 @@ class FetchUnit:
         """Run one fetch cycle: pull up to ``width`` instructions."""
         if self._waiting_seq is not None or now < self._resume_cycle:
             if not self.exhausted:
+                # Both stall sources — waiting on the unresolved branch
+                # and waiting out the redirect penalty — are misprediction
+                # consequences, so the dedicated counter tracks them too.
                 self.stats.fetch_stall_cycles += 1
+                self.stats.mispredict_stall_cycles += 1
             return
         fetched = 0
         while fetched < self.width and len(self.buffer) < self.buffer_size:
@@ -110,9 +114,13 @@ class FetchUnit:
         if self.exhausted:
             return
         if self._waiting_seq is not None:
-            self.stats.fetch_stall_cycles += end - start
+            stalled = end - start
         elif start < self._resume_cycle:
-            self.stats.fetch_stall_cycles += min(end, self._resume_cycle) - start
+            stalled = min(end, self._resume_cycle) - start
+        else:
+            return
+        self.stats.fetch_stall_cycles += stalled
+        self.stats.mispredict_stall_cycles += stalled
 
     def pop(self) -> Instruction | None:
         """Hand the oldest buffered instruction to dispatch."""

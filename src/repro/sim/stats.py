@@ -16,7 +16,7 @@ from dataclasses import dataclass, fields
 #: store fingerprint: bumping it (whenever fields are added, removed or
 #: change meaning) invalidates all cached cells at once instead of
 #: silently returning records the new code misreads.
-STATS_SCHEMA_VERSION = 1
+STATS_SCHEMA_VERSION = 2
 
 
 class Histogram:
@@ -112,6 +112,10 @@ class SimStats:
     # Front end
     fetched: int = 0
     fetch_stall_cycles: int = 0
+    #: The misprediction-caused subset of ``fetch_stall_cycles``: cycles
+    #: fetch was idle waiting on an unresolved mispredicted branch or
+    #: sitting out the redirect penalty after it resolved.
+    mispredict_stall_cycles: int = 0
     branch_predictions: int = 0
     branch_mispredictions: int = 0
     long_latency_branch_mispredictions: int = 0
@@ -122,6 +126,13 @@ class SimStats:
     l2_hits: int = 0
     l2_misses: int = 0
     memory_accesses: int = 0
+
+    # Shared-L2 arbitration (dual-core machines; zero elsewhere)
+    l2_arb_accesses: int = 0
+    l2_arb_conflicts: int = 0
+    l2_arb_delay_cycles: int = 0
+    #: Instructions the co-runner core committed while the primary ran.
+    co_committed: int = 0
 
     # Execution-locality split (D-KIP; §4.4 of the paper)
     committed_cp: int = 0

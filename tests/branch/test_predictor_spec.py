@@ -1,0 +1,96 @@
+"""The predictor spec grammar: canonical forms and error paths.
+
+``canonical_predictor`` is what the ``ooo-bp``/``dual`` configs store (and
+therefore what the result store fingerprints), so equivalent spellings
+must canonicalize identically and every malformed spelling must raise a
+:class:`SpecError` that names the grammar.
+"""
+
+import pytest
+
+from repro.branch import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GSharePredictor,
+    NeverTakenPredictor,
+    OraclePredictor,
+    PerceptronPredictor,
+)
+from repro.branch.spec import (
+    PREDICTOR_GRAMMAR,
+    canonical_predictor,
+    parse_predictor,
+)
+from repro.grammar import SpecError
+
+CANONICAL = [
+    ("perceptron", "perceptron"),
+    ("Perceptron-64", "perceptron-64"),
+    ("perceptron-64-16", "perceptron-64-16"),
+    ("gshare", "gshare"),
+    ("gshare-14", "gshare-14"),
+    ("GSHARE-14-10", "gshare-14-10"),
+    ("bimodal-10", "bimodal-10"),
+    ("oracle", "oracle"),
+    ("  Oracle ", "oracle"),
+    ("static", "always-taken"),  # the traditional lower-bound name
+    ("always-taken", "always-taken"),
+    ("never-taken", "never-taken"),
+]
+
+
+@pytest.mark.parametrize("spec,canonical", CANONICAL, ids=[s for s, _ in CANONICAL])
+def test_canonical_forms(spec, canonical):
+    assert canonical_predictor(spec) == canonical
+    # Canonicalization is idempotent — the stored form re-validates.
+    assert canonical_predictor(canonical) == canonical
+
+
+def test_parse_builds_parameterized_instances():
+    gshare = parse_predictor("gshare-14")
+    assert isinstance(gshare, GSharePredictor)
+    # One number sets both: a 2^14-entry table with 14 history bits.
+    assert (gshare.table_bits, gshare.history_length) == (14, 14)
+    split = parse_predictor("gshare-14-10")
+    assert (split.table_bits, split.history_length) == (14, 10)
+    perceptron = parse_predictor("perceptron-64-16")
+    assert isinstance(perceptron, PerceptronPredictor)
+    assert (perceptron.num_perceptrons, perceptron.history_length) == (64, 16)
+    assert isinstance(parse_predictor("bimodal-8"), BimodalPredictor)
+    assert isinstance(parse_predictor("oracle"), OraclePredictor)
+    assert isinstance(parse_predictor("static"), AlwaysTakenPredictor)
+    assert isinstance(parse_predictor("never-taken"), NeverTakenPredictor)
+
+
+BAD_SPECS = [
+    ("", "empty spec"),
+    ("   ", "empty spec"),
+    ("tage", "unknown predictor"),
+    ("gshare-x", "not a positive integer"),
+    ("gshare-0", "not a positive integer"),
+    ("gshare--14", "not a positive integer"),
+    ("gshare-14-16", "history_length cannot exceed table_bits"),
+    ("gshare-14-10-2", "at most 2 numeric"),
+    ("perceptron-100", "power of two"),  # constructor-level validation
+    ("perceptron-64-0", "not a positive integer"),
+    ("bimodal-3-4", "at most 1 numeric"),
+    ("oracle-2", "unknown predictor"),  # fixed names take no parameters
+    ("always-taken-1", "unknown predictor"),
+]
+
+
+@pytest.mark.parametrize(
+    "spec,why", BAD_SPECS, ids=[repr(s) for s, _ in BAD_SPECS]
+)
+def test_malformed_specs_raise_and_name_the_grammar(spec, why):
+    for fn in (canonical_predictor, parse_predictor):
+        with pytest.raises(SpecError) as excinfo:
+            fn(spec)
+        message = str(excinfo.value)
+        assert why in message, f"{fn.__name__}({spec!r}): {message}"
+        assert PREDICTOR_GRAMMAR in message
+
+
+def test_error_names_the_offending_spec():
+    with pytest.raises(SpecError, match=r"'tage'"):
+        canonical_predictor("tage")

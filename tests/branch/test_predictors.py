@@ -1,6 +1,11 @@
 """Unit and property tests for the branch predictors."""
 
+import json
+import os
 import random
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -10,6 +15,7 @@ from repro.branch import (
     BimodalPredictor,
     GSharePredictor,
     NeverTakenPredictor,
+    OraclePredictor,
     PerceptronPredictor,
     make_predictor,
 )
@@ -120,6 +126,171 @@ def test_reset_stats_keeps_learned_state():
     predictor.reset_stats()
     assert predictor.predictions == 0
     assert predictor.predict(0x4000) is True
+
+
+# ----------------------------------------------------------------------
+# Gshare internals: saturation, history wraparound, table aliasing
+# ----------------------------------------------------------------------
+
+
+def test_gshare_counters_saturate_and_hysterese():
+    """Counters clamp at [0, 3] and a saturated branch survives one blip."""
+    predictor = GSharePredictor(table_bits=4, history_length=0)
+    idx = predictor._index(0x40)
+    for _ in range(50):
+        predictor.update(0x40, True)
+    assert predictor._counters[idx] == 3  # saturated, not 50
+    predictor.update(0x40, False)
+    assert predictor._counters[idx] == 2
+    assert predictor.predict(0x40) is True  # hysteresis: still taken
+    for _ in range(50):
+        predictor.update(0x40, False)
+    assert predictor._counters[idx] == 0  # clamps at zero
+
+
+def test_gshare_history_wraps_at_history_length():
+    """The global history register is exactly history_length bits wide."""
+    predictor = GSharePredictor(table_bits=8, history_length=5)
+    for _ in range(64):  # far more outcomes than history bits
+        predictor.update(0x80, True)
+    assert predictor._history == (1 << 5) - 1  # all-ones, no overflow
+    predictor.update(0x80, False)
+    assert predictor._history == 0b11110
+
+
+def test_gshare_table_aliasing():
+    """PCs congruent modulo the table size share (and fight over) one
+    counter, while non-congruent PCs stay independent."""
+    predictor = GSharePredictor(table_bits=2, history_length=0)
+    assert predictor._index(0x0) == predictor._index(0x10)  # 4-entry table
+    assert predictor._index(0x0) != predictor._index(0x4)
+    for _ in range(10):
+        predictor.update(0x0, False)
+    # The alias inherits the learned not-taken bias; the neighbour keeps
+    # the weakly-taken initial state.
+    assert predictor.predict(0x10) is False
+    assert predictor.predict(0x4) is True
+
+
+def test_gshare_history_disambiguates_aliases():
+    """With history bits in the index, the same PC maps to different
+    counters under different global histories — the point of gshare."""
+    a = GSharePredictor(table_bits=6, history_length=6)
+    idx_empty = a._index(0x100)
+    a.update(0x200, True)  # shifts history
+    assert a._index(0x100) != idx_empty
+
+
+# ----------------------------------------------------------------------
+# Perceptron internals: training dynamics
+# ----------------------------------------------------------------------
+
+
+def test_perceptron_stops_training_when_confident():
+    """Once |y| exceeds θ and the prediction is correct, weights freeze —
+    the Jiménez & Lin training rule."""
+    predictor = PerceptronPredictor(num_perceptrons=4, history_length=4)
+    for _ in range(100):
+        predictor.update(0x0, True)
+    frozen = [row[:] for row in predictor._weights]
+    predictor.update(0x0, True)
+    assert predictor._weights == frozen
+    # ... but a misprediction always trains, even when |y| is large.
+    predictor.update(0x0, False)
+    assert predictor._weights != frozen
+
+
+def test_perceptron_bias_learns_history_free_branch():
+    """A branch uncorrelated with history is carried by the bias weight."""
+    predictor = PerceptronPredictor(num_perceptrons=4, history_length=4)
+    for _ in range(40):
+        predictor.update(0x0, True)
+    weights = predictor._weights[predictor._index(0x0)]
+    assert weights[0] > 0  # bias votes taken
+
+
+# ----------------------------------------------------------------------
+# Oracle bound
+# ----------------------------------------------------------------------
+
+
+def test_oracle_never_mispredicts():
+    predictor = OraclePredictor()
+    rng = random.Random(7)
+    for _ in range(500):
+        assert predictor.update(rng.randrange(1 << 20), rng.random() < 0.5)
+    assert predictor.predictions == 500
+    assert predictor.mispredictions == 0
+    assert predictor.accuracy == 1.0
+
+
+# ----------------------------------------------------------------------
+# Parameterized factory spellings (the bp= axis of ooo-bp/dual)
+# ----------------------------------------------------------------------
+
+
+def test_factory_accepts_parameterized_spellings():
+    gshare = make_predictor("gshare-14")
+    assert isinstance(gshare, GSharePredictor)
+    assert (gshare.table_bits, gshare.history_length) == (14, 14)
+    perceptron = make_predictor("perceptron-64-16")
+    assert isinstance(perceptron, PerceptronPredictor)
+    assert (perceptron.num_perceptrons, perceptron.history_length) == (64, 16)
+    assert isinstance(make_predictor("static"), AlwaysTakenPredictor)
+    assert isinstance(make_predictor("oracle"), OraclePredictor)
+
+
+def test_factory_rejects_kwargs_on_parameterized_spellings():
+    with pytest.raises(ValueError, match="keyword arguments"):
+        make_predictor("gshare-14", table_bits=10)
+
+
+# ----------------------------------------------------------------------
+# Cross-process determinism: prediction streams carry no hidden state
+# ----------------------------------------------------------------------
+
+_DETERMINISM_SCRIPT = """
+import json, random
+from repro.branch import make_predictor
+
+results = {}
+for spec in ("gshare-10", "perceptron-64-12", "bimodal-8"):
+    rng = random.Random(1234)
+    predictor = make_predictor(spec)
+    correct = 0
+    for _ in range(2000):
+        pc = rng.randrange(0, 1 << 16) & ~0x3
+        taken = rng.random() < 0.6
+        correct += predictor.update(pc, taken)
+    results[spec] = [correct, predictor.predictions, predictor.mispredictions]
+print(json.dumps(results, sort_keys=True))
+"""
+
+
+def _run_determinism_probe() -> str:
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ, PYTHONPATH=str(src))
+    proc = subprocess.run(
+        [sys.executable, "-c", _DETERMINISM_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout.strip()
+
+
+def test_prediction_streams_deterministic_across_processes():
+    """Two fresh interpreters produce bit-identical prediction streams —
+    no dict-order, hash-seed or id()-derived state leaks into predictions
+    (the property the result store's cache keys rely on)."""
+    first = _run_determinism_probe()
+    second = _run_determinism_probe()
+    assert first == second
+    stats = json.loads(first)
+    for spec, (correct, predictions, mispredictions) in stats.items():
+        assert predictions == 2000, spec
+        assert correct + mispredictions == predictions, spec
 
 
 @settings(max_examples=30, deadline=None)

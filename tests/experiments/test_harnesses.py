@@ -31,7 +31,8 @@ def test_registry_covers_every_table_and_figure():
         "ablation-runahead",
     }
     methodology = {"sampling"}
-    assert set(EXPERIMENTS) == paper | ablations | methodology
+    extensions = {"contention"}
+    assert set(EXPERIMENTS) == paper | ablations | methodology | extensions
 
 
 def test_unknown_experiment_rejected():

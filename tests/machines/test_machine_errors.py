@@ -24,6 +24,20 @@ from repro.machines.spec import load_spec_file
         "dkip(mp=FAST)",             # queue grammar: unknown word
         "limit(histogram=perhaps)",  # bad boolean
         "kilo(sliq=12.5)",           # non-integer count
+        "ooo-bp(bp=tage)",           # unknown predictor family
+        "ooo-bp(bp=gshare-x)",       # non-numeric predictor parameter
+        "ooo-bp(bp=gshare-14-16)",   # history exceeds table bits
+        "ooo-bp(bp=perceptron-100)", # rows not a power of two
+        "ooo-bp(bp=)",               # empty predictor spec
+        "ooo-bp(flux=1)",            # unknown parameter
+        "ooo-bp(sched=fast)",        # bad enum value
+        "dual(co=warp(x=1))",        # co-runner isn't a workload spec
+        "dual(co=synth(stream=0))",  # bad parameter inside the co spec
+        "dual(l2ports=0)",           # arbiter needs at least one port
+        "dual(l2busy=-1)",           # negative port occupancy
+        "dual(bp=bogus-3)",          # unknown predictor on the dual axis
+        "dual(coseed=-1)",           # negative seed
+        "dual(turbo=1)",             # unknown parameter
     ],
 )
 def test_bad_machine_specs_raise(bad):
@@ -44,6 +58,32 @@ def test_unknown_parameter_names_grammar():
 def test_queue_error_propagates_with_grammar():
     with pytest.raises(ValueError, match="OOO-"):
         parse_machine("dkip(cp=OOO-0)")
+
+
+def test_bad_bp_names_ooobp_and_predictor_grammars():
+    """A malformed bp= names both the machine grammar and the predictor
+    grammar it delegates to."""
+    with pytest.raises(SpecError, match=r"grammar: ooo-bp\(") as excinfo:
+        parse_machine("ooo-bp(bp=tage)")
+    assert "perceptron[-ENTRIES" in str(excinfo.value)
+    with pytest.raises(SpecError, match=r"grammar: dual\("):
+        parse_machine("dual(bp=tage)")
+
+
+def test_bad_co_runner_names_dual_and_workload_grammars():
+    """A malformed co= chains the workload error under the dual grammar."""
+    with pytest.raises(SpecError, match=r"grammar: dual\(") as excinfo:
+        parse_machine("dual(co=warp(x=1))")
+    message = str(excinfo.value)
+    assert "bad co-runner" in message
+    assert "warp" in message
+
+
+def test_unknown_dual_parameter_names_grammar():
+    with pytest.raises(SpecError, match=r"grammar: dual\("):
+        parse_machine("dual(turbo=1)")
+    with pytest.raises(SpecError, match=r"grammar: ooo-bp\("):
+        parse_machine("ooo-bp(flux=1)")
 
 
 @pytest.mark.parametrize(

@@ -9,6 +9,8 @@ import json
 
 import pytest
 
+from repro.baselines.dual import DualConfig
+from repro.baselines.ooobp import OooBpConfig
 from repro.machines import (
     apply_params,
     get_preset,
@@ -50,6 +52,42 @@ EQUIVALENCE = [
     ("limit(rob=64,histogram=off)", LimitMachine(rob_size=64, record_histogram=False)),
     ("runahead", RunaheadConfig()),
     ("runahead-64", RunaheadConfig()),
+    (
+        "ooo-bp(bp=gshare-14)",
+        OooBpConfig(
+            name="OOO-BP-64-gshare-14",
+            rob_size=64,
+            iq_int=40,
+            iq_fp=40,
+            predictor="gshare-14",
+        ),
+    ),
+    (
+        # Equivalent spellings canonicalize: static == always-taken.
+        "ooo-bp(bp=static)",
+        OooBpConfig(
+            name="OOO-BP-64-always-taken",
+            rob_size=64,
+            iq_int=40,
+            iq_fp=40,
+            predictor="always-taken",
+        ),
+    ),
+    ("OOO-BP-64-oracle", OooBpConfig(
+        name="OOO-BP-64-oracle",
+        rob_size=64,
+        iq_int=40,
+        iq_fp=40,
+        predictor="oracle",
+    )),
+    ("dual", DualConfig()),
+    ("dual()", DualConfig()),
+    ("DUAL-64", DualConfig()),
+    (
+        "dual(co=synth(chase=12,footprint=1M))",
+        DualConfig(name="DUAL-64+synth(chase=12,footprint=1M)",
+                   co="synth(chase=12,footprint=1M)"),
+    ),
 ]
 
 
@@ -80,7 +118,8 @@ def test_spec_whitespace_and_extras():
 def test_preset_spec_strings_round_trip():
     """Each preset's documented spec string parses back to its config."""
     for name in ("R10-64", "R10-256", "KILO-1024", "D-KIP-2048",
-                 "limit-rob-inf", "runahead-64"):
+                 "limit-rob-inf", "runahead-64", "OOO-BP-64-gshare-14",
+                 "OOO-BP-64-oracle", "DUAL-64", "DUAL-64-contended"):
         preset = get_preset(name)
         assert preset is not None
         assert parse_machine(preset.spec) == preset.config

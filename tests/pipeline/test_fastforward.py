@@ -16,6 +16,7 @@ import dataclasses
 import pytest
 
 from repro.branch import make_predictor
+from repro.machines import parse_machine
 from repro.memory import MemoryHierarchy, warm_caches
 from repro.memory.configs import TABLE1_CONFIGS
 from repro.pipeline.core import DeadlockError
@@ -33,6 +34,12 @@ CORES = {
     "kilo": KILO_1024,
     "runahead": RunaheadConfig(),
     "dkip": DKIP_2048,
+    # Predictor-axis OoO: misprediction-stall accounting must replay
+    # bit-exactly through the skip hooks.
+    "ooo-bp": parse_machine("ooo-bp(bp=gshare-12,rob=32)"),
+    # Dual-core with a co-runner: L2-arbitration interleavings must be
+    # identical with and without cycle skipping.
+    "dual": parse_machine("dual(rob=32,co=synth(chase=8),bp=gshare-10)"),
 }
 
 MEMORIES = ("MEM-100", "MEM-400", "L2-11")
@@ -45,7 +52,7 @@ def run_once(config, workload_name: str, memory_name: str, fast_forward: bool):
     trace = workload.trace(NUM_INSTRUCTIONS)
     hierarchy = MemoryHierarchy(TABLE1_CONFIGS[memory_name])
     warm_caches(hierarchy, workload.regions)
-    predictor = make_predictor("perceptron")
+    predictor = make_predictor(getattr(config, "predictor", None) or "perceptron")
     core = build_core(config, iter(trace), hierarchy, predictor, SimStats(config="diff"))
     stats = core.run(len(trace), fast_forward=fast_forward)
     return stats, core
