@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke workload-smoke chaos-smoke simpoint-smoke contention-smoke
+.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke workload-smoke chaos-smoke simpoint-smoke contention-smoke perf-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -89,6 +89,24 @@ chaos-smoke:
 	  PYTHONPATH=src $(PYTHON) -m repro.experiments sweep \
 	  --machines "r10(rob=32)" --workloads "mcf,swim" \
 	  --scale quick --instructions 2000 --no-store --retries 8
+
+# The batched dispatch kernel end to end: the same small grid serially
+# and with REPRO_BATCH batching over the pool executor, asserting the
+# result rows are byte-identical; then one profiled cell, leaving
+# profile.pstats for CI to upload.  The same check gates in CI.
+PERF_SMOKE_GRID = --machines "r10(rob=32),dkip(llib=4096),ooo-bp(bp=gshare-10,rob=24)" \
+  --workloads "mcf,swim" --scale quick --instructions 2000 \
+  --name perfsmoke --no-store
+perf-smoke:
+	rm -rf .perf-serial .perf-batch
+	PYTHONPATH=src $(PYTHON) -m repro.experiments sweep $(PERF_SMOKE_GRID) \
+	  --csv .perf-serial
+	REPRO_BATCH=4 REPRO_JOBS=2 \
+	  PYTHONPATH=src $(PYTHON) -m repro.experiments sweep $(PERF_SMOKE_GRID) \
+	  --csv .perf-batch
+	cmp .perf-serial/perfsmoke.csv .perf-batch/perfsmoke.csv
+	PYTHONPATH=src $(PYTHON) -m repro.experiments profile dkip mcf \
+	  --instructions 4000 --profile-out profile.pstats
 
 # Regenerate every paper table/figure at quick scale.
 experiments:

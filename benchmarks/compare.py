@@ -11,6 +11,11 @@ performance change with ``make bench-baseline`` (or ``--update``).
 
 The baseline is a trimmed ``{benchmark name: mean seconds}`` mapping plus
 a little metadata, so diffs stay readable in review.
+
+Every ``--report-json`` run also appends one dated entry to the
+append-only ``benchmarks/BENCH_history.jsonl`` (disable with
+``--no-history``), preserving the performance trajectory across baseline
+ratchets.
 """
 
 from __future__ import annotations
@@ -22,10 +27,12 @@ import platform
 import subprocess
 import sys
 import tempfile
+from datetime import datetime, timezone
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
+DEFAULT_HISTORY = Path(__file__).resolve().parent / "BENCH_history.jsonl"
 DEFAULT_GROUP = "simulator-throughput"
 DEFAULT_THRESHOLD = 0.25
 BENCH_FILE = "benchmarks/test_simulator_throughput.py"
@@ -132,6 +139,38 @@ def write_report(
     print(f"report written: {path}")
 
 
+def append_history(
+    path: Path,
+    *,
+    group: str,
+    verdict: str,
+    means: dict[str, float],
+    records: dict[str, dict],
+) -> None:
+    """Append one dated line to the longitudinal benchmark history.
+
+    The history is append-only JSONL — one entry per gated run — so
+    performance over time stays reconstructable even after the baseline
+    is ratcheted (the baseline only keeps the latest accepted means).
+    """
+    entry = {
+        "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "group": group,
+        "verdict": verdict,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "means": {name: round(mean, 6) for name, mean in sorted(means.items())},
+        "regressions": sorted(
+            name
+            for name, record in records.items()
+            if record["status"] in ("regress", "missing")
+        ),
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"history appended: {path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -158,6 +197,15 @@ def main(argv: list[str] | None = None) -> int:
         "--report-json", type=Path, default=None,
         help="write a machine-readable verdict (group, per-benchmark deltas, "
         "regressions) to this path",
+    )
+    parser.add_argument(
+        "--history", type=Path, default=DEFAULT_HISTORY,
+        help="append-only JSONL performance history, one dated entry per "
+        "--report-json run (default: benchmarks/BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip the history append even when --report-json is given",
     )
     parser.add_argument(
         "--no-gate", "--smoke", action="store_true", dest="no_gate",
@@ -195,6 +243,11 @@ def main(argv: list[str] | None = None) -> int:
                 args.report_json, group=args.group, threshold=args.threshold,
                 gated=not args.no_gate, verdict="no-baseline", records=records,
             )
+            if not args.no_history:
+                append_history(
+                    args.history, group=args.group, verdict="no-baseline",
+                    means=current, records=records,
+                )
         return 0 if args.no_gate else 2
 
     baseline = json.loads(args.baseline.read_text())["means"]
@@ -208,6 +261,11 @@ def main(argv: list[str] | None = None) -> int:
             args.report_json, group=args.group, threshold=args.threshold,
             gated=not args.no_gate, verdict=verdict, records=records,
         )
+        if not args.no_history:
+            append_history(
+                args.history, group=args.group, verdict=verdict,
+                means=current, records=records,
+            )
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond "
               f"{args.threshold:.0%}:")

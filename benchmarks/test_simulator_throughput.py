@@ -16,7 +16,9 @@ misses — the quiescent regime the cycle-skipping engine targets.
 import pytest
 
 from repro.branch import make_predictor
+from repro.machines import parse_machine
 from repro.memory import DEFAULT_MEMORY, MemoryHierarchy
+from repro.sim.batch import BatchRunner
 from repro.sim.config import DKIP_2048, R10_64
 from repro.sim.runner import simulate
 from repro.workloads import get_workload
@@ -70,6 +72,52 @@ def test_r10_core_cycles_per_second(benchmark, workload_name):
 @pytest.mark.parametrize("workload_name", CORE_WORKLOADS)
 def test_dkip_core_cycles_per_second(benchmark, workload_name):
     _run_core_benchmark(benchmark, DKIP_2048, workload_name)
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
+@pytest.mark.parametrize("workload_name", CORE_WORKLOADS)
+def test_ooobp_core_cycles_per_second(benchmark, workload_name):
+    """Predictor-axis OoO core: exercises the gshare update path and the
+    misprediction-stall accounting on top of the baseline pipeline."""
+    _run_core_benchmark(
+        benchmark, parse_machine("ooo-bp(bp=gshare-12,rob=32)"), workload_name
+    )
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
+@pytest.mark.parametrize("workload_name", ("mcf",))
+def test_dual_core_cycles_per_second(benchmark, workload_name):
+    """Dual-core with shared-L2 arbitration: two pipelines per simulated
+    cycle, the heaviest machine kind the sweep layer dispatches."""
+    _run_core_benchmark(
+        benchmark,
+        parse_machine("dual(rob=32,co=synth(chase=8),bp=gshare-10)"),
+        workload_name,
+    )
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
+def test_batched_grid_throughput(benchmark):
+    """The batched dispatch kernel: one BatchRunner interleaving four
+    cells, the unit of work ``run_cells(batch=N)`` amortizes."""
+    workloads = {name: get_workload(name) for name in CORE_WORKLOADS}
+    traces = {
+        name: workload.trace(CORE_INSTRUCTIONS)
+        for name, workload in workloads.items()
+    }
+
+    def run():
+        runner = BatchRunner()
+        for config in (R10_64, DKIP_2048):
+            for name, workload in workloads.items():
+                runner.add_simulation(
+                    (config.name, name), config, traces[name],
+                    regions=workload.regions,
+                )
+        return runner.run()
+
+    outcomes = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert all(outcome == "ok" for outcome, _ in outcomes.values())
 
 
 @pytest.mark.benchmark(group="simulator-throughput")

@@ -63,6 +63,9 @@ class KiloCore(R10Core):
         self._reissue_wheel: dict[int, list[InFlight]] = {}
         self._reissue_backlog: list[InFlight] = []
         self._reissued_this_cycle = 0
+        # The SLIQ participates as the oldest scheduling window.
+        self._kilo_queues_even = (self.sliq, self.iq_int, self.iq_fp)
+        self._kilo_queues_odd = (self.sliq, self.iq_fp, self.iq_int)
 
     # ------------------------------------------------------------------
 
@@ -298,8 +301,8 @@ class KiloCore(R10Core):
 
     def _issue_queues(self) -> tuple[IssueQueue, ...]:
         if self.now & 1 == 0:
-            return (self.sliq, self.iq_int, self.iq_fp)
-        return (self.sliq, self.iq_fp, self.iq_int)
+            return self._kilo_queues_even
+        return self._kilo_queues_odd
 
     # ------------------------------------------------------------------
 

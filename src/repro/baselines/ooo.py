@@ -69,15 +69,31 @@ class R10Core(CycleCore):
         self.lsq = LoadStoreQueue(config.lsq_size)
         self.regs = RegisterTracker()
         self.fus = FuPool(config.fus)
+        self._rob_size = config.rob_size
+        self._cache_issue_queues()
+
+    def _cache_issue_queues(self) -> None:
+        """(Re)build the per-parity queue-order tuples ``_issue_queues``
+        hands out.  Must be called again by any subclass that replaces
+        ``iq_int``/``iq_fp`` mid-run (runahead's checkpoint restore)."""
+        self._queues_even = (self.iq_int, self.iq_fp)
+        self._queues_odd = (self.iq_fp, self.iq_int)
 
     # ------------------------------------------------------------------
 
     def step(self) -> None:
         self.process_completions()
-        self._commit()
+        rob = self.rob
+        if rob and rob[0].executed:
+            self._commit()
         self._issue()
-        self._dispatch()
-        self.fetch.cycle(self.now)
+        # Guards mirror the first-iteration exits of the stage loops: a
+        # skipped call is one that would have returned without touching
+        # any state.
+        fetch = self.fetch
+        if fetch.buffer and len(rob) < self._rob_size:
+            self._dispatch()
+        fetch.cycle(self.now)
 
     def on_complete(self, entry: InFlight) -> None:
         instr = entry.instr
@@ -137,6 +153,8 @@ class R10Core(CycleCore):
         rob = self.rob
         committed = 0
         width = self.config.commit_width
+        now = self.now
+        lsq = self.lsq
         while committed < width and rob and rob[0].executed:
             entry = rob.popleft()
             instr = entry.instr
@@ -144,43 +162,56 @@ class R10Core(CycleCore):
                 if instr.is_store:
                     # Stores write the cache at commit; the latency is not
                     # on the critical path (retire from the store buffer).
-                    self.hierarchy.access(instr.addr, write=True, now=self.now)
-                    self.lsq.store_committed(entry)
-                self.lsq.release()
-            self.committed += 1
+                    self.hierarchy.access(instr.addr, write=True, now=now)
+                    lsq.store_committed(entry)
+                lsq.release()
             committed += 1
+        self.committed += committed
 
     # ------------------------------------------------------------------
 
     def _issue_queues(self) -> tuple[IssueQueue, ...]:
         """Queue inspection order; alternates by parity so neither cluster
         can starve the other at full issue bandwidth."""
-        if self.now & 1 == 0:
-            return (self.iq_int, self.iq_fp)
-        return (self.iq_fp, self.iq_int)
+        return self._queues_even if self.now & 1 == 0 else self._queues_odd
 
     def _try_take_fu(self, kind: FuKind) -> bool:
         """Claim an issue slot; subclasses reroute memory ports here."""
         return self.fus.try_take(kind)
 
     def _issue(self) -> None:
+        now = self.now
+        queues = self._issue_queues()
+        # Cheap idle guard: most stalled cycles have nothing issuable in
+        # any window, so skip the per-cycle FU reset and the issue loop
+        # entirely.  Container truthiness over-approximates issuability
+        # (an unready in-order head or a stale heap entry passes), which
+        # only means the loop below runs and finds nothing — the lazy
+        # stale drops it performs then are state-identical either way.
+        for queue in queues:
+            if queue._ready_heap or queue._fifo:
+                break
+        else:
+            return
         self.fus.new_cycle()
         budget = self.config.issue_width
         deferred: list[tuple[IssueQueue, InFlight]] = []
-        for queue in self._issue_queues():
+        take_fu = self._try_take_fu
+        execute = self._execute
+        for queue in queues:
             in_order = queue.policy == SchedulerPolicy.IN_ORDER
             while budget > 0:
-                entry = queue.next_issuable(self.now)
+                entry = queue.next_issuable(now)
                 if entry is None:
                     break
-                if not self._try_take_fu(fu_kind_of(entry.instr.op)):
+                if not take_fu(fu_kind_of(entry.instr.op)):
                     if in_order:
                         break
                     queue.defer(entry)
                     deferred.append((queue, entry))
                     continue
                 queue.take(entry)
-                self._execute(entry)
+                execute(entry)
                 budget -= 1
         for queue, entry in deferred:
             queue.wake(entry)
@@ -208,29 +239,40 @@ class R10Core(CycleCore):
     # ------------------------------------------------------------------
 
     def _dispatch(self) -> None:
-        width = self.config.decode_width
-        for _ in range(width):
-            instr = self.fetch.peek()
-            if instr is None:
+        fetch = self.fetch
+        buffer = fetch.buffer
+        if not buffer:
+            return
+        rob = self.rob
+        rob_size = self._rob_size
+        if len(rob) >= rob_size:
+            return
+        now = self.now
+        regs = self.regs
+        lsq = self.lsq
+        waiting_seq = fetch.waiting_seq
+        for _ in range(self.config.decode_width):
+            if not buffer:
                 return
-            if len(self.rob) >= self.config.rob_size:
+            instr = buffer[0]
+            if len(rob) >= rob_size:
                 return
             queue = self.iq_fp if instr.is_fp else self.iq_int
             if not queue.has_space:
                 return
-            if instr.is_mem and not self.lsq.has_space:
+            if instr.is_mem and not lsq.has_space:
                 return
-            self.fetch.pop()
-            entry = InFlight(instr, fetch_cycle=self.now)
-            entry.dispatch_cycle = self.now
-            if instr.seq == self.fetch.waiting_seq:
+            buffer.popleft()
+            entry = InFlight(instr, fetch_cycle=now)
+            entry.dispatch_cycle = now
+            if instr.seq == waiting_seq:
                 entry.mispredicted = True
-            self.regs.link_sources(entry)
-            self.regs.define(entry)
-            self.rob.append(entry)
+            regs.link_sources(entry)
+            regs.define(entry)
+            rob.append(entry)
             queue.add(entry)
             if instr.is_mem:
-                self.lsq.allocate()
+                lsq.allocate()
 
 
 # ----------------------------------------------------------------------

@@ -228,6 +228,7 @@ class RunaheadCore(R10Core):
         self.rob.clear()
         self.iq_int = IssueQueue("iq-int", config.iq_int, config.scheduler)
         self.iq_fp = IssueQueue("iq-fp", config.iq_fp, config.scheduler)
+        self._cache_issue_queues()  # the inherited issue loop holds tuples
         self.lsq = LoadStoreQueue(config.lsq_size)
         self.regs = RegisterTracker()
         self.fus = FuPool(config.fus)

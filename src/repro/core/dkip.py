@@ -256,6 +256,11 @@ class DkipProcessor(R10Core):
 
     def _issue_mps(self) -> None:
         for mp in (self.mp_int, self.mp_fp):
+            if not mp.queue.occupancy:
+                # Nothing dispatched to this MP: skip the per-cycle FU
+                # reset and the issue loop (state-identical — ``try_take``
+                # is only consulted from the loop below).
+                continue
             mp.fus.new_cycle()
             budget = mp.config.decode_width
             deferred: list[InFlight] = []

@@ -22,7 +22,14 @@ Usage::
         --spec-out phases.toml                     # SimPoint phase table
     dkip-experiments simpoint cap.trc.gz --capture mcf \
         --instructions 50000                       # synthesize + analyze
+    dkip-experiments profile dkip mcf --instructions 20000 \
+        --profile-out dkip-mcf.pstats              # where does time go?
     dkip-experiments --list
+
+``profile`` runs one (machine, workload[, memory]) cell under cProfile
+and prints simulation throughput, wall time attributed per pipeline
+stage, and the hottest functions — the first stop before touching any
+hot loop (see PERFORMANCE.md for the cookbook).
 
 ``simpoint`` runs the SimPoint phase analysis over a captured trace
 (optionally capturing it first with ``--capture WORKLOAD``): it slices
@@ -85,7 +92,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=["all"],
         help="experiment names (e.g. fig9 fig12), 'all', 'report "
         "[names...]', 'cache <cmd>', 'machines', 'workloads', 'sweep "
-        "[preset|file.toml ...]', or 'simpoint TRACE[.gz]'",
+        "[preset|file.toml ...]', 'simpoint TRACE[.gz]', or "
+        "'profile MACHINE WORKLOAD [MEMORY]'",
     )
     parser.add_argument(
         "--scale",
@@ -268,6 +276,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="simpoint: write a sweep scenario file (TOML) whose "
         "phases(...) token replays the selected phases; machines come "
         "from --machines (default: dkip)",
+    )
+    profile = parser.add_argument_group(
+        "profile", "cProfile one cell and attribute time to pipeline stages"
+    )
+    profile.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="profile: also dump raw cProfile data to PATH (load with "
+        "pstats or snakeviz)",
+    )
+    profile.add_argument(
+        "--sort",
+        choices=("tottime", "cumtime", "ncalls"),
+        default="tottime",
+        help="profile: hot-function table ordering (default: %(default)s)",
     )
     resilience = parser.add_argument_group(
         "resilience",
@@ -718,6 +742,151 @@ def run_workloads_command(args) -> int:
     return 0
 
 
+#: Human stage names for the per-file time attribution of ``profile``.
+#: Files not listed fall back to their ``package/module`` path, so new
+#: modules show up unnamed rather than vanishing.
+_PROFILE_STAGES = {
+    "pipeline/fetch.py": "fetch + branch redirect",
+    "pipeline/queues.py": "issue queues (wakeup/select)",
+    "pipeline/fu.py": "functional units",
+    "pipeline/lsq.py": "load/store queues",
+    "pipeline/entry.py": "in-flight entries (rename)",
+    "pipeline/regstate.py": "register state",
+    "pipeline/core.py": "event queue + run loop",
+    "branch": "branch prediction",
+    "memory": "memory hierarchy",
+    "core": "D-KIP model (analyze/extract/MP)",
+    "baselines": "baseline core model",
+    "workloads": "trace generation",
+    "trace": "trace generation",
+    "isa": "trace generation",
+}
+
+
+def _profile_stage(filename: str) -> str:
+    """Map a profiled code object's file to a pipeline-stage label."""
+    marker = f"{os.sep}repro{os.sep}"
+    index = filename.rfind(marker)
+    if index < 0:
+        return "python runtime + other"
+    subpath = filename[index + len(marker):].replace(os.sep, "/")
+    return (
+        _PROFILE_STAGES.get(subpath)
+        or _PROFILE_STAGES.get(subpath.split("/", 1)[0])
+        or subpath
+    )
+
+
+def run_profile_command(args) -> int:
+    """Dispatch ``dkip-experiments profile MACHINE WORKLOAD [MEMORY]``.
+
+    Runs one cell under :mod:`cProfile` and prints (a) a run summary
+    with simulation throughput, (b) wall time attributed per pipeline
+    stage — exclusive time grouped by the module that implements the
+    stage — and (c) the hottest individual functions.  This is the
+    entry point the performance cookbook in PERFORMANCE.md builds on;
+    ``--profile-out`` keeps the raw profile for offline digging.
+    """
+    import cProfile
+    import pstats
+    import time
+
+    from repro.machines import SpecError, parse_machine, parse_memory
+    from repro.sim.runner import simulate
+    from repro.viz.ascii import table
+    from repro.workloads import get_workload
+
+    words = args.experiments[1:]
+    if not 1 < len(words) < 4:
+        print(
+            "usage: dkip-experiments profile MACHINE WORKLOAD [MEMORY] "
+            "[--instructions N] [--profile-out FILE] [--sort KEY]",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        config = parse_machine(words[0])
+        workload = get_workload(words[1])
+        memory = parse_memory(words[2] if len(words) == 3 else "default")
+    except (SpecError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    instructions = args.instructions if args.instructions is not None else 20_000
+    trace = workload.trace(instructions)
+
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    stats = simulate(config, trace, memory=memory, regions=workload.regions)
+    profiler.disable()
+    elapsed = time.perf_counter() - started
+
+    label = getattr(config, "name", words[0])
+    print(
+        f"{label} × {words[1]} × {memory.name}: "
+        f"{stats.committed} instructions, {stats.cycles} cycles, "
+        f"IPC {stats.ipc:.3f}"
+    )
+    print(
+        f"wall {elapsed:.3f}s — "
+        f"{stats.cycles / elapsed / 1e3:.0f}k cycles/s, "
+        f"{stats.committed / elapsed / 1e3:.0f}k instructions/s"
+    )
+    print()
+
+    profile = pstats.Stats(profiler)
+    total = sum(row[2] for row in profile.stats.values()) or 1.0
+    stages: dict[str, tuple[float, int]] = {}
+    for (filename, _lineno, _name), (_cc, ncalls, tottime, _ct, _callers) in (
+        profile.stats.items()
+    ):
+        stage = _profile_stage(filename)
+        seconds, calls = stages.get(stage, (0.0, 0))
+        stages[stage] = (seconds + tottime, calls + ncalls)
+    stage_rows = [
+        [stage, f"{seconds:.3f}", f"{100 * seconds / total:5.1f}%", str(calls)]
+        for stage, (seconds, calls) in sorted(
+            stages.items(), key=lambda item: item[1][0], reverse=True
+        )
+    ]
+    print(
+        table(
+            ["stage", "seconds", "share", "calls"],
+            stage_rows,
+            title="per-stage attribution (exclusive time by module)",
+        )
+    )
+    print()
+
+    sort_index = {"tottime": 2, "cumtime": 3, "ncalls": 1}[args.sort]
+    hot = sorted(
+        profile.stats.items(), key=lambda item: item[1][sort_index], reverse=True
+    )[:15]
+    hot_rows = []
+    for (filename, lineno, name), (_cc, ncalls, tottime, cumtime, _callers) in hot:
+        where = _profile_stage(filename)
+        base = os.path.basename(filename)
+        hot_rows.append(
+            [f"{base}:{lineno}({name})", str(ncalls),
+             f"{tottime:.3f}", f"{cumtime:.3f}", where]
+        )
+    print(
+        table(
+            ["function", "ncalls", "tottime", "cumtime", "stage"],
+            hot_rows,
+            title=f"hottest functions (by {args.sort})",
+        )
+    )
+    if args.profile_out:
+        try:
+            profiler.dump_stats(args.profile_out)
+        except OSError as error:
+            print(f"cannot write {args.profile_out}: {error}", file=sys.stderr)
+            return 2
+        print(f"\n[raw profile written to {args.profile_out}]")
+    return 0
+
+
 def run_report_command(args) -> int:
     """Dispatch ``dkip-experiments report [names...]``."""
     from repro.report import build_report
@@ -790,6 +959,8 @@ def _dispatch(args, names: list[str]) -> int:
         return run_workloads_command(args)
     if names and names[0] == "simpoint":
         return run_simpoint_command(args)
+    if names and names[0] == "profile":
+        return run_profile_command(args)
     if "all" in names:
         names = list(EXPERIMENTS)
     scale = Scale(args.scale)

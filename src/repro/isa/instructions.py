@@ -9,9 +9,9 @@ all per-core state lives in the cores' own in-flight records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.isa.opcodes import OpClass, is_branch_op, is_load_op, is_mem_op, is_store_op
+from repro.isa.opcodes import BRANCH_OPS, FP_OPS, LOAD_OPS, MEM_OPS, OpClass, STORE_OPS
 from repro.isa.registers import (
     NUM_REGS,
     RegisterName,
@@ -49,6 +49,21 @@ class Instruction:
     taken: bool | None = None
     target: int | None = None
 
+    # -- classification flags (hot paths read these constantly) -----------
+    # Precomputed once at construction; excluded from comparison/hash/repr
+    # so equality semantics match the nine architectural fields above.
+    is_load: bool = field(init=False, compare=False, repr=False)
+    is_store: bool = field(init=False, compare=False, repr=False)
+    is_mem: bool = field(init=False, compare=False, repr=False)
+    is_branch: bool = field(init=False, compare=False, repr=False)
+    is_cond_branch: bool = field(init=False, compare=False, repr=False)
+    #: True when the instruction executes on the FP cluster.  The D-KIP
+    #: routes instructions to the integer or floating-point LLIB based on
+    #: this flag (Section 3.2: "There is one LLIB for floating point and
+    #: another LLIB for integer instructions").
+    is_fp: bool = field(init=False, compare=False, repr=False)
+    _live_srcs: tuple[RegisterName, ...] = field(init=False, compare=False, repr=False)
+
     def __post_init__(self) -> None:
         if self.dest is not None and not 0 <= self.dest < NUM_REGS:
             raise ValueError(f"dest register out of range: {self.dest}")
@@ -57,54 +72,29 @@ class Instruction:
         for src in self.srcs:
             if not 0 <= src < NUM_REGS:
                 raise ValueError(f"source register out of range: {src}")
-        if is_mem_op(self.op) and self.addr is None:
+        op = self.op
+        if op in MEM_OPS and self.addr is None:
             raise ValueError(f"memory instruction without address: {self}")
-        if is_branch_op(self.op) and self.taken is None:
+        if op in BRANCH_OPS and self.taken is None:
             raise ValueError(f"branch instruction without outcome: {self}")
-
-    # -- classification helpers (hot paths use these constantly) ----------
-
-    @property
-    def is_load(self) -> bool:
-        return is_load_op(self.op)
-
-    @property
-    def is_store(self) -> bool:
-        return is_store_op(self.op)
-
-    @property
-    def is_mem(self) -> bool:
-        return is_mem_op(self.op)
-
-    @property
-    def is_branch(self) -> bool:
-        return is_branch_op(self.op)
-
-    @property
-    def is_cond_branch(self) -> bool:
-        return self.op == OpClass.BRANCH
-
-    @property
-    def is_fp(self) -> bool:
-        """True when the instruction executes on the FP cluster.
-
-        The D-KIP routes instructions to the integer or floating-point LLIB
-        based on this property (Section 3.2: "There is one LLIB for floating
-        point and another LLIB for integer instructions").
-        """
-        if self.dest is not None and is_fp_reg(self.dest):
-            return True
-        return self.op in (
-            OpClass.FP_ADD,
-            OpClass.FP_MUL,
-            OpClass.FP_DIV,
-            OpClass.FP_LOAD,
-            OpClass.FP_STORE,
+        setattr = object.__setattr__
+        setattr(self, "is_load", op in LOAD_OPS)
+        setattr(self, "is_store", op in STORE_OPS)
+        setattr(self, "is_mem", op in MEM_OPS)
+        setattr(self, "is_branch", op in BRANCH_OPS)
+        setattr(self, "is_cond_branch", op == OpClass.BRANCH)
+        setattr(
+            self,
+            "is_fp",
+            (self.dest is not None and is_fp_reg(self.dest)) or op in FP_OPS,
+        )
+        setattr(
+            self, "_live_srcs", tuple(s for s in self.srcs if not is_zero_reg(s))
         )
 
     def live_srcs(self) -> tuple[RegisterName, ...]:
         """Source registers excluding the hardwired zero registers."""
-        return tuple(s for s in self.srcs if not is_zero_reg(s))
+        return self._live_srcs
 
     def disassemble(self) -> str:
         """Render a human-readable one-line disassembly."""

@@ -195,6 +195,54 @@ class Cache:
         return len(self._fills)
 
     # ------------------------------------------------------------------
+    # Bulk warm-up (see repro.memory.warmup)
+    # ------------------------------------------------------------------
+
+    def is_pristine(self) -> bool:
+        """True when the cache holds no lines, fills, or statistics —
+        i.e. it is indistinguishable from a freshly constructed one."""
+        if self._infinite_lines or self._fills or self.hits or self.misses:
+            return False
+        return all(not s for s in self._sets)
+
+    def warm_tail(self, lines: list[int]) -> None:
+        """Install the state a single read pass over *lines* would leave.
+
+        *lines* must be all distinct and the cache pristine: then every
+        line is filled exactly once, in stream order, so the final content
+        of each set is the last ``assoc`` of its lines — installable
+        directly, without simulating the evictions.  The caller
+        (:func:`repro.memory.warmup.warm_caches`) checks the
+        preconditions and falls back to streaming otherwise.
+        """
+        if self.size is None:
+            self._infinite_lines.update(lines)
+            return
+        num_sets = self._num_sets
+        assoc = self.assoc
+        survivors: dict[int, list[int]] = {}
+        full = 0
+        for line in reversed(lines):
+            bucket = survivors.get(line % num_sets)
+            if bucket is None:
+                survivors[line % num_sets] = [line]
+                if assoc == 1:
+                    full += 1
+                    if full == num_sets:
+                        break
+            elif len(bucket) < assoc:
+                bucket.append(line)
+                if len(bucket) == assoc:
+                    full += 1
+                    if full == num_sets:
+                        break
+        sets = self._sets
+        for index, bucket in survivors.items():
+            target = sets[index]
+            for line in reversed(bucket):
+                target[line] = None
+
+    # ------------------------------------------------------------------
 
     def reset_stats(self) -> None:
         self.hits = 0

@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Iterator
 
-from repro.isa import Instruction, OpClass
+from repro.isa import Instruction
 from repro.branch.base import BranchPredictor
 from repro.sim.stats import SimStats
 
@@ -59,28 +59,33 @@ class FetchUnit:
 
     def cycle(self, now: int) -> None:
         """Run one fetch cycle: pull up to ``width`` instructions."""
+        stats = self.stats
         if self._waiting_seq is not None or now < self._resume_cycle:
             if not self.exhausted:
                 # Both stall sources — waiting on the unresolved branch
                 # and waiting out the redirect penalty — are misprediction
                 # consequences, so the dedicated counter tracks them too.
-                self.stats.fetch_stall_cycles += 1
-                self.stats.mispredict_stall_cycles += 1
+                stats.fetch_stall_cycles += 1
+                stats.mispredict_stall_cycles += 1
             return
         fetched = 0
-        while fetched < self.width and len(self.buffer) < self.buffer_size:
-            instr = next(self._trace, None)
+        width = self.width
+        buffer = self.buffer
+        buffer_size = self.buffer_size
+        trace = self._trace
+        while fetched < width and len(buffer) < buffer_size:
+            instr = next(trace, None)
             if instr is None:
                 self.exhausted = True
                 return
-            self.buffer.append(instr)
-            self.stats.fetched += 1
+            buffer.append(instr)
+            stats.fetched += 1
             fetched += 1
-            if instr.op == OpClass.BRANCH:
+            if instr.is_cond_branch:
                 correct = self.predictor.update(instr.pc, bool(instr.taken))
-                self.stats.branch_predictions += 1
+                stats.branch_predictions += 1
                 if not correct:
-                    self.stats.branch_mispredictions += 1
+                    stats.branch_mispredictions += 1
                     self._waiting_seq = instr.seq
                     return  # stop fetching past the mispredicted branch
                 if instr.taken:

@@ -41,13 +41,17 @@ class RegisterTracker:
         them are Address-Processor loads (Section 3.2: extraction waits for
         the long-latency load value, not for ordinary MP producers).
         """
-        sources: list[InFlight] = []
+        sources: list[InFlight] | None = None
+        producers = self._producers
         for src in entry.instr.live_srcs():
-            producer = self._producers[src]
+            producer = producers[src]
             if producer is not None and not producer.executed:
                 entry.unready += 1
                 producer.add_waiter(entry)
-                sources.append(producer)
+                if sources is None:
+                    sources = [producer]
+                else:
+                    sources.append(producer)
         if sources:
             entry.sources = tuple(sources)
 

@@ -22,6 +22,8 @@ STATS_SCHEMA_VERSION = 2
 class Histogram:
     """Fixed-bin-width histogram over non-negative integer samples."""
 
+    __slots__ = ("bin_width", "max_value", "_bins", "count", "total")
+
     def __init__(self, bin_width: int = 25, max_value: int | None = None) -> None:
         if bin_width <= 0:
             raise ValueError("bin width must be positive")
@@ -100,9 +102,13 @@ class Histogram:
         return histogram
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
-    """Everything one simulation run produces."""
+    """Everything one simulation run produces.
+
+    ``slots=True`` because the per-cycle stall counters are incremented in
+    the hottest simulator loops.
+    """
 
     workload: str = ""
     config: str = ""
