@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke workload-smoke chaos-smoke simpoint-smoke contention-smoke perf-smoke
+.PHONY: test lint bench bench-smoke bench-baseline experiments reproduce sweep-smoke workload-smoke chaos-smoke simpoint-smoke contention-smoke perf-smoke serve-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -107,6 +107,23 @@ perf-smoke:
 	cmp .perf-serial/perfsmoke.csv .perf-batch/perfsmoke.csv
 	PYTHONPATH=src $(PYTHON) -m repro.experiments profile dkip mcf \
 	  --instructions 4000 --profile-out profile.pstats
+
+# The sweep service end to end: submit a 2x2 grid into a spool, drain
+# it with a scheduler plus two worker processes, then resubmit the
+# identical grid — the warm pass must complete the job with zero
+# simulations off the shared store.  The same check gates in CI.
+SERVE_SMOKE_GRID = --machines "r10(rob=32),dkip(llib=4096)" \
+  --workloads "mcf,swim" --scale quick --instructions 2000 \
+  --service .serve-svc --shards 2
+serve-smoke:
+	rm -rf .serve-svc
+	PYTHONPATH=src $(PYTHON) -m repro.experiments submit $(SERVE_SMOKE_GRID)
+	PYTHONPATH=src $(PYTHON) -m repro.experiments serve \
+	  --service .serve-svc --workers 2 --once
+	PYTHONPATH=src $(PYTHON) -m repro.experiments submit $(SERVE_SMOKE_GRID)
+	PYTHONPATH=src $(PYTHON) -m repro.experiments serve \
+	  --service .serve-svc --workers 2 --once | grep ", 0 simulated"
+	PYTHONPATH=src $(PYTHON) -m repro.experiments status --service .serve-svc
 
 # Regenerate every paper table/figure at quick scale.
 experiments:

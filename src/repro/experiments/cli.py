@@ -24,6 +24,11 @@ Usage::
         --instructions 50000                       # synthesize + analyze
     dkip-experiments profile dkip mcf --instructions 20000 \
         --profile-out dkip-mcf.pstats              # where does time go?
+    dkip-experiments submit --machines "dkip,R10-64" --workloads int \
+        --service .svc                             # enqueue a sweep job
+    dkip-experiments serve --service .svc --workers 4 --once
+    dkip-experiments status --service .svc         # per-shard progress
+    dkip-experiments results JOBID --service .svc  # grid from the store
     dkip-experiments --list
 
 ``profile`` runs one (machine, workload[, memory]) cell under cProfile
@@ -49,6 +54,15 @@ any configured store for this invocation.
 ``report`` assembles every requested experiment (default: all) into one
 standalone Markdown document with embedded SVG charts and a
 reproduced-vs-paper verdict per figure; on a warm store it only renders.
+
+The service subcommands run sweeps as a shared, sharded job queue
+(:mod:`repro.service`): ``submit`` enqueues a content-addressed job into
+the ``--service`` spool directory (``$REPRO_SERVICE``), ``serve`` runs
+the scheduler plus ``--workers`` worker processes against it (``--once``
+drains the queue and exits), and ``status``/``results`` attach from any
+client — progress and the finished grid come straight from the shared
+store, so duplicate submissions and worker deaths never re-simulate a
+completed cell.
 
 The resilience flags (``--cell-timeout``, ``--retries``,
 ``--max-failures``, ``--failures-json``) activate the fault-tolerant
@@ -293,6 +307,59 @@ def build_parser() -> argparse.ArgumentParser:
         default="tottime",
         help="profile: hot-function table ordering (default: %(default)s)",
     )
+    service = parser.add_argument_group(
+        "service",
+        "sharded sweep service over one shared result store "
+        "(serve / submit / status / results)",
+    )
+    service.add_argument(
+        "--service",
+        metavar="DIR",
+        default=None,
+        help="service spool directory (default: $REPRO_SERVICE; the "
+        "shared store defaults to DIR/store unless --store is given)",
+    )
+    service.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help="serve: worker processes to run (default: 2)",
+    )
+    service.add_argument(
+        "--once",
+        action="store_true",
+        help="serve: exit once every submitted job has completed",
+    )
+    service.add_argument(
+        "--poll",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="serve/submit --wait: poll interval (default: 0.2)",
+    )
+    service.add_argument(
+        "--lease",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="serve: heartbeat staleness after which a worker's shard "
+        "is requeued (default: 30)",
+    )
+    service.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=None,
+        help="submit: work units the grid is split into per dispatch "
+        "(default: 4)",
+    )
+    service.add_argument(
+        "--wait",
+        action="store_true",
+        help="submit: block until the job completes, printing progress "
+        "(a scheduler must be serving the spool)",
+    )
     resilience = parser.add_argument_group(
         "resilience",
         "fault tolerance for long sweeps (any of these flags activates "
@@ -482,6 +549,47 @@ def _write_sweep_svg(path: str, result, spec) -> bool:
     return True
 
 
+def _adhoc_sweep_mapping(args) -> dict:
+    """The sweep mapping the ad-hoc ``--machines/...`` flags describe.
+
+    Shared by ``sweep`` (runs it here) and ``submit`` (serializes it
+    into a service job), so both spell grids identically.  Raises
+    :class:`~repro.machines.SpecError` on malformed axis flags.
+    """
+    from repro.machines import SpecError, split_specs
+
+    def parse_axis_flags(chunks, flag):
+        axes: dict[str, list[str]] = {}
+        for chunk in chunks or []:
+            key, sep, values = chunk.partition("=")
+            if not sep or not key.strip() or not values.strip():
+                raise SpecError(
+                    f"malformed {flag} {chunk!r}; expected KEY=V1,V2,..."
+                )
+            axes[key.strip()] = split_specs(values)
+        return axes
+
+    return {
+        "name": args.name or "sweep",
+        "title": args.title or "",
+        "machines": [
+            s for chunk in args.machines for s in split_specs(chunk)
+        ],
+        "memory": [
+            s for chunk in args.memory or [] for s in split_specs(chunk)
+        ],
+        "workloads": [
+            s for chunk in args.workloads or [] for s in split_specs(chunk)
+        ],
+        "axes": parse_axis_flags(args.axes, "--axes"),
+        "workload_axes": parse_axis_flags(
+            args.workload_axes, "--workload-axes"
+        ),
+        "instructions": args.instructions,
+        "max_cycles": args.max_cycles,
+    }
+
+
 def run_sweep_command(args) -> int:
     """Dispatch ``dkip-experiments sweep [preset|file ...]`` and ad-hoc
     ``--machines/--memory/--workloads/--axes`` grids."""
@@ -492,7 +600,7 @@ def run_sweep_command(args) -> int:
         run_preset,
         run_sweep,
     )
-    from repro.machines import SpecError, split_specs
+    from repro.machines import SpecError
 
     words = args.experiments[1:]
     scale = Scale(args.scale)
@@ -533,38 +641,7 @@ def run_sweep_command(args) -> int:
                     file=sys.stderr,
                 )
                 return 2
-            def parse_axis_flags(chunks, flag):
-                axes: dict[str, list[str]] = {}
-                for chunk in chunks or []:
-                    key, sep, values = chunk.partition("=")
-                    if not sep or not key.strip() or not values.strip():
-                        raise SpecError(
-                            f"malformed {flag} {chunk!r}; expected KEY=V1,V2,..."
-                        )
-                    axes[key.strip()] = split_specs(values)
-                return axes
-
-            spec = SweepSpec.from_mapping(
-                {
-                    "name": args.name or "sweep",
-                    "title": args.title or "",
-                    "machines": [
-                        s for chunk in args.machines for s in split_specs(chunk)
-                    ],
-                    "memory": [
-                        s for chunk in args.memory or [] for s in split_specs(chunk)
-                    ],
-                    "workloads": [
-                        s for chunk in args.workloads or [] for s in split_specs(chunk)
-                    ],
-                    "axes": parse_axis_flags(args.axes, "--axes"),
-                    "workload_axes": parse_axis_flags(
-                        args.workload_axes, "--workload-axes"
-                    ),
-                    "instructions": args.instructions,
-                    "max_cycles": args.max_cycles,
-                }
-            )
+            spec = SweepSpec.from_mapping(_adhoc_sweep_mapping(args))
             result = run_sweep(spec, scale, store=store, force=args.force)
             runs.append((result, figure_spec_for(spec)))
     except (SpecError, ValueError, OSError) as error:
@@ -887,6 +964,271 @@ def run_profile_command(args) -> int:
     return 0
 
 
+def _resolve_service(args):
+    """The service spool (``--service``/``$REPRO_SERVICE``) and its store.
+
+    Returns ``(queue, store)`` or ``None`` after a stderr message when
+    no spool directory is configured.  Without an explicit ``--store``
+    the shared store lives inside the spool (``<service>/store``), so
+    every worker and client agrees on one ledger by construction.
+    """
+    from repro.service import ServiceQueue
+
+    directory = (
+        args.service or os.environ.get("REPRO_SERVICE", "").strip() or None
+    )
+    if directory is None:
+        print(
+            "no service directory configured; pass --service DIR or set "
+            "$REPRO_SERVICE",
+            file=sys.stderr,
+        )
+        return None
+    queue = ServiceQueue(directory)
+    queue.ensure()
+    store = resolve_store(args) or ResultStore(queue.root / "store")
+    return queue, store
+
+
+def _submission_mappings(args, words) -> list[dict]:
+    """The sweep mappings a ``submit`` invocation names.
+
+    Words are sweep presets or scenario files (like ``sweep``); with no
+    words the ad-hoc ``--machines/...`` flags describe one grid.
+    Raises :class:`~repro.machines.SpecError`/:class:`ValueError` on bad
+    input; returns an empty list (after a stderr message) when nothing
+    was specified at all.
+    """
+    from repro.experiments.sweep import SweepSpec, get_sweep_preset
+
+    mappings: list[dict] = []
+    if words:
+        for word in words:
+            if word.endswith((".toml", ".json")) or os.path.sep in word:
+                mappings.append(SweepSpec.from_file(word).to_mapping())
+            else:
+                mappings.append(get_sweep_preset(word).spec.to_mapping())
+        return mappings
+    if not args.machines:
+        print(
+            "submit needs --machines SPECS, a preset name, or a scenario "
+            "file; see 'dkip-experiments machines' for the grammar",
+            file=sys.stderr,
+        )
+        return []
+    return [SweepSpec.from_mapping(_adhoc_sweep_mapping(args)).to_mapping()]
+
+
+def run_serve_command(args) -> int:
+    """Dispatch ``dkip-experiments serve``: scheduler + N local workers.
+
+    The scheduler loop runs in this process; each ``--workers`` slot is
+    a separate OS process polling the same spool, so a worker death is a
+    real process death and the store is genuinely shared.  ``--once``
+    drains every submitted job and exits (the smoke-test mode); without
+    it the service runs until interrupted.
+    """
+    import multiprocessing
+    import time
+
+    from repro.service import FAILED, Scheduler, worker_main
+
+    resolved = _resolve_service(args)
+    if resolved is None:
+        return 2
+    queue, store = resolved
+    queue.clear_stop()
+    workers = args.workers if args.workers is not None else 2
+    poll = args.poll if args.poll is not None else 0.2
+    lease = args.lease if args.lease is not None else 30.0
+    scheduler = Scheduler(queue, store, lease=lease)
+    processes = []
+    for slot in range(max(0, workers)):
+        process = multiprocessing.Process(
+            target=worker_main,
+            args=(str(queue.root),),
+            kwargs={
+                "store_root": str(store.root),
+                "poll": poll,
+                "name": f"worker-{slot}@{os.getpid()}",
+            },
+            daemon=True,
+        )
+        process.start()
+        processes.append(process)
+    print(
+        f"serving {queue.root} with {len(processes)} worker(s); "
+        f"store {store.root}",
+        flush=True,
+    )
+    status = 0
+    try:
+        while True:
+            for event in scheduler.poll_once():
+                print(event, flush=True)
+            if args.once and scheduler.drained():
+                break
+            time.sleep(poll)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        queue.request_stop()
+        for process in processes:
+            process.join(timeout=10.0)
+        for process in processes:  # pragma: no cover - last resort
+            if process.is_alive():
+                process.terminate()
+    if args.once:
+        status = max(
+            (1 for job in queue.iter_jobs() if job.state == FAILED),
+            default=0,
+        )
+    return status
+
+
+def run_submit_command(args) -> int:
+    """Dispatch ``dkip-experiments submit``: enqueue sweep jobs.
+
+    Job ids are content-addressed over the canonical sweep mapping and
+    scale, so resubmitting the same grid attaches to the in-flight job
+    (or, once done, re-enqueues it to complete instantly off the warm
+    store).  ``--wait`` then follows the job to completion.
+    """
+    from repro.machines import SpecError
+    from repro.service import FAILED, job_status, submit_job, wait_for_job
+
+    resolved = _resolve_service(args)
+    if resolved is None:
+        return 2
+    queue, store = resolved
+    words = args.experiments[1:]
+    try:
+        mappings = _submission_mappings(args, words)
+    except (SpecError, ValueError, OSError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    if not mappings:
+        return 2
+    shards = args.shards if args.shards is not None else 4
+    retries = args.retries if args.retries is not None else 2
+    jobs = []
+    for mapping in mappings:
+        try:
+            job, outcome = submit_job(
+                queue, mapping, args.scale, shards=shards, retries=retries
+            )
+        except (SpecError, ValueError) as error:
+            print(error, file=sys.stderr)
+            return 2
+        jobs.append(job)
+        print(f"job {job.job_id[:12]} {outcome} ({mapping['name']})")
+    if not args.wait:
+        return 0
+    status = 0
+    poll = args.poll if args.poll is not None else 0.5
+    for job in jobs:
+        last = None
+
+        def progress(current, job=job, seen=[last]):
+            snapshot = job_status(queue, store, current)
+            key = (snapshot["stored"], snapshot["failed"], snapshot["lost"])
+            if key != seen[0]:
+                seen[0] = key
+                print(
+                    f"job {current.job_id[:12]}: {snapshot['stored']}/"
+                    f"{snapshot['cells']} cells stored, "
+                    f"{snapshot['failed']} failed",
+                    flush=True,
+                )
+
+        final = wait_for_job(queue, job.job_id, poll=poll, on_progress=progress)
+        if final is None:  # pragma: no cover - no timeout configured
+            continue
+        print(final.summary_line())
+        if final.state == FAILED:
+            status = 1
+    return status
+
+
+def run_status_command(args) -> int:
+    """Dispatch ``dkip-experiments status [JOB...]``: live job progress.
+
+    With no arguments every job in the spool is listed; job-id prefixes
+    narrow it.  Progress counts come from validated store reads and the
+    failure taxonomy from the shard reports, so any client can attach to
+    a running sweep.
+    """
+    from repro.service import format_status, job_status
+
+    resolved = _resolve_service(args)
+    if resolved is None:
+        return 2
+    queue, store = resolved
+    words = args.experiments[1:]
+    if words:
+        jobs = []
+        for word in words:
+            job = queue.match_job(word)
+            if job is None:
+                print(f"no unique job matches {word!r}", file=sys.stderr)
+                return 2
+            jobs.append(job)
+    else:
+        jobs = queue.iter_jobs()
+    if not jobs:
+        print(f"no jobs submitted to {queue.root}")
+        return 0
+    for job in jobs:
+        for line in format_status(job_status(queue, store, job)):
+            print(line)
+    return 0
+
+
+def run_results_command(args) -> int:
+    """Dispatch ``dkip-experiments results JOB``: the grid, read-only.
+
+    Collects the job's cells from the shared store — never simulating —
+    and renders them through the standard sweep formatter; cells still
+    in flight (or failed) appear as ``n/a``.  Exits 1 while the grid is
+    incomplete so scripts can poll for completion.
+    """
+    from repro.machines import SpecError
+    from repro.service import collect_results
+
+    resolved = _resolve_service(args)
+    if resolved is None:
+        return 2
+    queue, store = resolved
+    words = args.experiments[1:]
+    if len(words) != 1:
+        print(
+            "usage: dkip-experiments results JOBID [--service DIR]; see "
+            "'dkip-experiments status' for job ids",
+            file=sys.stderr,
+        )
+        return 2
+    job = queue.match_job(words[0])
+    if job is None:
+        print(f"no unique job matches {words[0]!r}", file=sys.stderr)
+        return 2
+    try:
+        result, missing = collect_results(queue, store, job)
+    except (SpecError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(result.render())
+    print()
+    _write_result_files(result, args)
+    if missing:
+        print(
+            f"{missing} cell(s) not yet in the store (job state: "
+            f"{job.state}); re-run once the sweep completes",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def run_report_command(args) -> int:
     """Dispatch ``dkip-experiments report [names...]``."""
     from repro.report import build_report
@@ -961,6 +1303,14 @@ def _dispatch(args, names: list[str]) -> int:
         return run_simpoint_command(args)
     if names and names[0] == "profile":
         return run_profile_command(args)
+    if names and names[0] == "serve":
+        return run_serve_command(args)
+    if names and names[0] == "submit":
+        return run_submit_command(args)
+    if names and names[0] == "status":
+        return run_status_command(args)
+    if names and names[0] == "results":
+        return run_results_command(args)
     if "all" in names:
         names = list(EXPERIMENTS)
     scale = Scale(args.scale)

@@ -747,7 +747,7 @@ def run_snapshot_cell(
     return _cached_cell(store, force, key, compute)
 
 
-def compute_cell(payload: dict) -> SimStats:
+def compute_cell(payload: dict, max_cycles: int | None = None) -> SimStats:
     """Re-run one cell from its stored key payload (``cache verify``).
 
     Rebuilds the machine and memory configurations from their serialized
@@ -755,7 +755,9 @@ def compute_cell(payload: dict) -> SimStats:
     path the sweeps use, so the result must match the stored stats bit
     for bit unless simulator behaviour drifted under the fingerprint.
     Machine construction goes through the kind registry, so limit cells
-    and cycle-level cells replay through one path.
+    and cycle-level cells replay through one path.  *max_cycles* is the
+    deadlock-guard bound (not part of the key — it cannot change a
+    completed run's stats); service workers forward their job's bound.
     """
     machine = from_jsonable(payload["machine"])
     memory = from_jsonable(payload["memory"])
@@ -773,6 +775,7 @@ def compute_cell(payload: dict) -> SimStats:
         num_instructions,
         memory=memory,
         predictor_name=payload.get("predictor"),
+        max_cycles=max_cycles,
     )
 
 

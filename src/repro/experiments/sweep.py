@@ -130,6 +130,30 @@ class SweepSpec:
         """Load a spec from a TOML or JSON scenario file."""
         return cls.from_mapping(load_spec_file(path))
 
+    def to_mapping(self) -> dict[str, Any]:
+        """The plain-mapping form of this spec, :meth:`from_mapping`'s
+        inverse — what service submissions serialize into job files (and
+        hash into content-addressed job ids)."""
+        data: dict[str, Any] = {
+            "name": self.name,
+            "machines": list(self.machines),
+            "memory": list(self.memory),
+            "workloads": list(self.workloads),
+        }
+        if self.title:
+            data["title"] = self.title
+        if self.axes:
+            data["axes"] = {axis: list(values) for axis, values in self.axes}
+        if self.workload_axes:
+            data["workload_axes"] = {
+                axis: list(values) for axis, values in self.workload_axes
+            }
+        if self.instructions is not None:
+            data["instructions"] = self.instructions
+        if self.max_cycles is not None:
+            data["max_cycles"] = self.max_cycles
+        return data
+
 
 def _as_list(value) -> list:
     if value is None:
@@ -351,17 +375,62 @@ class SweepGrid:
         ]
 
 
-def sweep_grid(
-    spec: SweepSpec,
-    scale: Scale | str = Scale.DEFAULT,
-    pool: WorkloadPool | None = None,
-    store: ResultStore | None = None,
-    force: bool = False,
-    jobs: int | None = None,
-    warm_cache: WarmupCache | None = None,
-) -> SweepGrid:
-    """Execute every cell of *spec*'s grid (store-first, one process
-    pool for the whole grid) and return the indexed results."""
+@dataclass(frozen=True)
+class GridPlan:
+    """The expanded, validated execution plan of one sweep grid.
+
+    The shared head of :func:`sweep_grid` and the service scheduler
+    (:mod:`repro.service.scheduler`): both need the same canonical cell
+    order and instruction budget — one to run the cells through the
+    in-process pool, the other to fingerprint and shard them across
+    service workers — so the expansion lives in one place and a cell's
+    store key is identical no matter which path executes it.
+    """
+
+    spec: SweepSpec
+    scale: Scale
+    instructions: int
+    machines: list[SweptMachine]
+    memories: list[MemoryConfig]
+    workloads: dict[str, tuple[str, ...]]
+    benches: tuple[str, ...]
+    phases: dict[str, PhaseExpansion]
+
+    def cells(self) -> list[tuple[Any, str, MemoryConfig]]:
+        """Every (machine config, benchmark, memory) cell, in the
+        canonical machine-major / memory / benchmark order."""
+        return [
+            (machine.config, bench, memory)
+            for machine in self.machines
+            for memory in self.memories
+            for bench in self.benches
+        ]
+
+    def coords(self) -> list[tuple[int, int, str]]:
+        """Grid coordinates aligned index-for-index with :meth:`cells`."""
+        return [
+            (mi, gi, bench)
+            for mi in range(len(self.machines))
+            for gi in range(len(self.memories))
+            for bench in self.benches
+        ]
+
+    def grid(self) -> SweepGrid:
+        """An empty result grid shaped like this plan."""
+        return SweepGrid(
+            spec=self.spec,
+            scale=self.scale,
+            instructions=self.instructions,
+            machines=self.machines,
+            memories=self.memories,
+            workloads=self.workloads,
+            benches=self.benches,
+            phases=self.phases,
+        )
+
+
+def plan_grid(spec: SweepSpec, scale: Scale | str = Scale.DEFAULT) -> GridPlan:
+    """Expand and validate *spec* into its executable grid plan."""
     scale = scale_of(scale)
     machines = expand_machines(spec)
     memories = [parse_memory(m) for m in spec.memory]
@@ -395,29 +464,7 @@ def sweep_grid(
                 f"{shortest}-instruction interval of a phases(...) "
                 "workload; phase cells replay at most one interval"
             )
-    pool = pool or WorkloadPool()
-    cells = [
-        (machine.config, bench, memory)
-        for machine in machines
-        for memory in memories
-        for bench in benches
-    ]
-    report = active_report()
-    if report is None:
-        report = FailureReport()
-    seen_failures = len(report.failures)
-    flat = run_cells(
-        cells,
-        instructions,
-        pool,
-        jobs=jobs,
-        warm_cache=warm_cache,
-        store=store,
-        force=force,
-        max_cycles=spec.max_cycles,
-        report=report,
-    )
-    grid = SweepGrid(
+    return GridPlan(
         spec=spec,
         scale=scale,
         instructions=instructions,
@@ -427,14 +474,40 @@ def sweep_grid(
         benches=benches,
         phases=phases,
     )
-    coords: list[tuple[int, int, str]] = []
-    index = 0
-    for mi in range(len(machines)):
-        for gi in range(len(memories)):
-            for bench in benches:
-                grid.results[(mi, gi, bench)] = flat[index]
-                coords.append((mi, gi, bench))
-                index += 1
+
+
+def sweep_grid(
+    spec: SweepSpec,
+    scale: Scale | str = Scale.DEFAULT,
+    pool: WorkloadPool | None = None,
+    store: ResultStore | None = None,
+    force: bool = False,
+    jobs: int | None = None,
+    warm_cache: WarmupCache | None = None,
+) -> SweepGrid:
+    """Execute every cell of *spec*'s grid (store-first, one process
+    pool for the whole grid) and return the indexed results."""
+    plan = plan_grid(spec, scale)
+    pool = pool or WorkloadPool()
+    report = active_report()
+    if report is None:
+        report = FailureReport()
+    seen_failures = len(report.failures)
+    flat = run_cells(
+        plan.cells(),
+        plan.instructions,
+        pool,
+        jobs=jobs,
+        warm_cache=warm_cache,
+        store=store,
+        force=force,
+        max_cycles=spec.max_cycles,
+        report=report,
+    )
+    grid = plan.grid()
+    coords = plan.coords()
+    for index, coord in enumerate(coords):
+        grid.results[coord] = flat[index]
     # Map this grid's final failures (appended during the run_cells call
     # above) back to grid coordinates via each failure's flat cell index.
     for failure in report.failures[seen_failures:]:
@@ -479,6 +552,81 @@ def figure_spec_for(spec: SweepSpec) -> FigureSpec:
     )
 
 
+def summarize_grid(
+    grid: SweepGrid, result: ExperimentResult | None = None
+) -> ExperimentResult:
+    """Format an executed (or store-collected) grid generically.
+
+    One row per (machine, memory, workload token) with mean/min/max IPC,
+    ASCII bars per (memory, token), and grid/phase/failure notes.  The
+    formatting half of :func:`run_sweep`, shared with the service
+    ``results`` client — which fills a :class:`SweepGrid` straight from
+    the store without re-running anything and renders it through here.
+    """
+    if result is None:
+        result = ExperimentResult(
+            name=grid.spec.name,
+            title=grid.spec.title or "ad-hoc machine/memory/workload sweep",
+            headers=[
+                "machine", "memory", "workloads", "mean IPC", "min IPC", "max IPC",
+            ],
+            scale=grid.scale,
+        )
+    for mi, machine in enumerate(grid.machines):
+        for gi, memory in enumerate(grid.memories):
+            for token in grid.workloads:
+                ipcs = [
+                    s.ipc
+                    for s in grid.suite_stats(mi, gi, token)
+                    if s is not None
+                ]
+                if ipcs:
+                    # Weighted estimate for phase sets, plain mean
+                    # otherwise (grid.mean_ipc dispatches).
+                    cols = [
+                        round(grid.mean_ipc(mi, gi, token), 3),
+                        round(min(ipcs), 3),
+                        round(max(ipcs), 3),
+                    ]
+                else:
+                    kinds = sorted(
+                        {f.kind for f in grid.suite_failures(mi, gi, token)}
+                    ) or ["unknown"]
+                    cols = [f"n/a (failed: {', '.join(kinds)})", "n/a", "n/a"]
+                result.rows.append(
+                    [machine.label, memory.name, token, *cols]
+                )
+    for gi, memory in enumerate(grid.memories):
+        for token in grid.workloads:
+            data = {
+                machine.label: grid.mean_ipc(mi, gi, token)
+                for mi, machine in enumerate(grid.machines)
+            }
+            result.charts.append(
+                bar_chart(data, title=f"mean IPC — {memory.name} / {token}")
+            )
+    result.notes.append(
+        f"grid: {len(grid.machines)} machine(s) x {len(grid.memories)} "
+        f"memory system(s) x {len(grid.benches)} benchmark(s), "
+        f"{grid.instructions} instructions per cell"
+    )
+    for token, expansion in grid.phases.items():
+        result.notes.append(
+            f"{token}: {len(expansion.names)} weighted phase(s) out of "
+            f"{expansion.num_intervals} interval(s) — mean IPC is the "
+            f"SimPoint estimate, simulating {expansion.coverage:.1%} of "
+            "the capture"
+        )
+    if grid.failures:
+        result.notes.append(
+            f"{len(grid.failures)} cell(s) failed and were excluded from "
+            "the aggregates above:"
+        )
+        for failure in grid.failures.values():
+            result.notes.append(f"  failed: {failure.describe()}")
+    return result
+
+
 def run_sweep(
     spec: SweepSpec,
     scale: Scale | str = Scale.DEFAULT,
@@ -504,58 +652,7 @@ def run_sweep(
             jobs=jobs,
             warm_cache=WarmupCache(),
         )
-        for mi, machine in enumerate(grid.machines):
-            for gi, memory in enumerate(grid.memories):
-                for token in grid.workloads:
-                    ipcs = [
-                        s.ipc
-                        for s in grid.suite_stats(mi, gi, token)
-                        if s is not None
-                    ]
-                    if ipcs:
-                        # Weighted estimate for phase sets, plain mean
-                        # otherwise (grid.mean_ipc dispatches).
-                        cols = [
-                            round(grid.mean_ipc(mi, gi, token), 3),
-                            round(min(ipcs), 3),
-                            round(max(ipcs), 3),
-                        ]
-                    else:
-                        kinds = sorted(
-                            {f.kind for f in grid.suite_failures(mi, gi, token)}
-                        ) or ["unknown"]
-                        cols = [f"n/a (failed: {', '.join(kinds)})", "n/a", "n/a"]
-                    result.rows.append(
-                        [machine.label, memory.name, token, *cols]
-                    )
-        for gi, memory in enumerate(grid.memories):
-            for token in grid.workloads:
-                data = {
-                    machine.label: grid.mean_ipc(mi, gi, token)
-                    for mi, machine in enumerate(grid.machines)
-                }
-                result.charts.append(
-                    bar_chart(data, title=f"mean IPC — {memory.name} / {token}")
-                )
-    result.notes.append(
-        f"grid: {len(grid.machines)} machine(s) x {len(grid.memories)} "
-        f"memory system(s) x {len(grid.benches)} benchmark(s), "
-        f"{grid.instructions} instructions per cell"
-    )
-    for token, expansion in grid.phases.items():
-        result.notes.append(
-            f"{token}: {len(expansion.names)} weighted phase(s) out of "
-            f"{expansion.num_intervals} interval(s) — mean IPC is the "
-            f"SimPoint estimate, simulating {expansion.coverage:.1%} of "
-            "the capture"
-        )
-    if grid.failures:
-        result.notes.append(
-            f"{len(grid.failures)} cell(s) failed and were excluded from "
-            "the aggregates above:"
-        )
-        for failure in grid.failures.values():
-            result.notes.append(f"  failed: {failure.describe()}")
+    summarize_grid(grid, result)
     return result
 
 

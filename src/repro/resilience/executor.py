@@ -33,6 +33,7 @@ signatures.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import multiprocessing.connection
 import random
@@ -93,6 +94,24 @@ class ExecutionPolicy:
             return 0.0
         delay = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
         return delay * (0.5 + 0.5 * rng.random())
+
+    def jitter_rng(self, label: str, attempt: int) -> random.Random:
+        """A jitter source keyed to one (cell, attempt) pair.
+
+        Drawing jitter from a single shared RNG makes each retry's delay
+        a function of how *other* cells happened to interleave, so chaos
+        runs under ``$REPRO_FAULT`` never replay their timing.  Hashing
+        (policy seed, cell label, attempt) instead gives every attempt
+        its own deterministic stream: a given cell backs off identically
+        no matter what else is in flight or in what order it retried.
+        """
+        data = f"{self.seed}|{label}|{attempt}".encode()
+        seed = int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+        return random.Random(seed)
+
+    def backoff_for(self, label: str, attempt: int) -> float:
+        """The deterministic delay before *attempt* of the cell *label*."""
+        return self.backoff(attempt, self.jitter_rng(label, attempt))
 
 
 #: The default policy: no deadline, supervised retries for transient
@@ -268,7 +287,6 @@ class ResilientExecutor:
         #: finished before a worker death are not recomputed).
         self.prune = prune
         self._workers: list[_Worker] = []
-        self._rng = random.Random(policy.seed)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -317,7 +335,7 @@ class ResilientExecutor:
         self.report.retries += 1
         if self.prune is not None and task.done:
             task.payload = self.prune(task.payload, task.done)
-        delay = self.policy.backoff(task.attempt, self._rng)
+        delay = self.policy.backoff_for(task.label, task.attempt)
         if delay <= 0:
             pending.append(task)
         else:
@@ -560,7 +578,6 @@ def run_attempts(
     """
     if count_cell:
         report.cells += 1
-    rng = random.Random(policy.seed)
     start = time.monotonic()
     attempt = 0
     while True:
@@ -571,7 +588,7 @@ def run_attempts(
             if kind == RETRYABLE and attempt < policy.retries:
                 attempt += 1
                 report.retries += 1
-                sleep(policy.backoff(attempt, rng))
+                sleep(policy.backoff_for(label, attempt))
                 continue
             failure = CellFailure(
                 index=index,

@@ -1,0 +1,50 @@
+"""The sweep service: many submitters, one sharded result store.
+
+The serving layer over the experiment stack: clients submit declarative
+sweeps (:class:`~repro.experiments.sweep.SweepSpec` mappings) as
+content-addressed jobs into a spool directory, a scheduler expands each
+grid into store-fingerprinted cells and shards them as claimable
+tickets, and N workers (local processes, or any host sharing the spool)
+execute cells and stream results into the shared
+:class:`~repro.store.ResultStore`.
+
+The store's fingerprints are the idempotency keys throughout: a cell is
+"done" exactly when its validated entry exists, so worker death,
+duplicate dispatch, scheduler restarts and duplicate submissions all
+resolve to the same recovery — requeue the missing fingerprints.  See
+``dkip-experiments serve``/``submit``/``status``/``results`` for the
+CLI surface and ARCHITECTURE.md for the dataflow diagram.
+"""
+
+from repro.service.client import (
+    build_job,
+    collect_results,
+    format_status,
+    job_status,
+    submit_job,
+    wait_for_job,
+)
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, Job, JobCell, job_id_for
+from repro.service.queue import ServiceQueue
+from repro.service.scheduler import Scheduler
+from repro.service.worker import ServiceWorker, worker_main
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "Job",
+    "JobCell",
+    "Scheduler",
+    "ServiceQueue",
+    "ServiceWorker",
+    "build_job",
+    "collect_results",
+    "format_status",
+    "job_id_for",
+    "job_status",
+    "submit_job",
+    "wait_for_job",
+    "worker_main",
+]

@@ -1,0 +1,193 @@
+"""Job records for the sweep service: content-addressed, JSON on disk.
+
+A job is one submitted sweep — the declarative :class:`SweepSpec`
+mapping plus the scale it runs at.  Its identity is the canonical
+digest of exactly that payload, so submitting the same grid twice (from
+one client retrying, or two clients racing) resolves to *one* job file:
+duplicate-submit dedup falls out of content addressing the same way
+duplicate cell execution falls out of the store's fingerprints.
+
+The job file is also the service's durable state: the scheduler plans
+the grid once and records every cell's (digest, label, key payload)
+triple in the file, so workers, requeues after a crash, and the
+``status``/``results`` clients all read one consistent cell list without
+re-expanding the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.fingerprint import digest
+from repro.store import CellKey
+
+#: On-disk job document version.
+JOB_FORMAT = 1
+
+#: Job lifecycle states.  ``queued`` → ``running`` → ``done``; planning
+#: errors (a spec that no longer parses) go straight to ``failed``.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+def job_id_for(sweep: Mapping[str, Any], scale: str) -> str:
+    """The content-addressed id of one (sweep mapping, scale) submission."""
+    return digest({"sweep": dict(sweep), "scale": scale})
+
+
+@dataclass
+class JobCell:
+    """One planned grid cell: its store fingerprint, human label, and
+    the full key payload a worker re-executes it from."""
+
+    digest: str
+    label: str
+    key: dict
+
+    def store_key(self) -> CellKey:
+        """The :class:`~repro.store.CellKey` this cell caches under."""
+        return CellKey(payload=self.key, digest=self.digest)
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering."""
+        return {"digest": self.digest, "label": self.label, "key": self.key}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobCell":
+        """Rebuild a cell from its :meth:`to_dict` form."""
+        return cls(
+            digest=str(data["digest"]),
+            label=str(data["label"]),
+            key=dict(data["key"]),
+        )
+
+
+@dataclass
+class Job:
+    """One submitted sweep and everything the service knows about it."""
+
+    job_id: str
+    sweep: dict
+    scale: str
+    #: Maximum shard tickets per dispatch wave (the grid is split into at
+    #: most this many work units; fewer when there are fewer cells).
+    shards: int = 4
+    #: Per-cell retry budget workers apply (transient failures only).
+    retries: int = 2
+    state: str = QUEUED
+    submitted_at: float = 0.0
+    finished_at: float | None = None
+    #: Planned cells in canonical grid order (empty until planned).
+    cells: list[JobCell] = field(default_factory=list)
+    #: Cells whose validated store entry predated this job (plan time).
+    cached: int = 0
+    #: Digests seen with a validated store entry.
+    stored: list[str] = field(default_factory=list)
+    #: Worker failure records (``CellFailure.to_dict`` plus ``digest``).
+    failures: list[dict] = field(default_factory=list)
+    #: Digests abandoned after the requeue budget ran out.
+    lost: list[str] = field(default_factory=list)
+    #: Dispatch waves issued beyond the first (stale-claim recoveries).
+    requeues: int = 0
+    #: Ticket generations issued so far (names dispatch waves uniquely).
+    generation: int = 0
+    #: Shard report file names already folded into this record.
+    reports: list[str] = field(default_factory=list)
+    #: Supervision counters merged from shard reports
+    #: (:meth:`repro.resilience.FailureReport.to_dict` keys).
+    counters: dict = field(default_factory=dict)
+    #: Planning error message when ``state == FAILED``.
+    error: str = ""
+
+    @property
+    def max_cycles(self) -> int | None:
+        """The sweep's deadlock-guard bound, if any."""
+        value = self.sweep.get("max_cycles")
+        return int(value) if value is not None else None
+
+    def failed_digests(self) -> dict[str, str]:
+        """Map of permanently failed cell digests to their failure kind
+        (digests that later stored successfully are excluded)."""
+        stored = set(self.stored)
+        return {
+            str(failure["digest"]): str(failure.get("kind", "unknown"))
+            for failure in self.failures
+            if failure.get("digest") and failure["digest"] not in stored
+        }
+
+    def summary(self) -> dict:
+        """Completion accounting: cells / simulated / cached / failed / lost."""
+        stored = len(set(self.stored))
+        return {
+            "cells": len(self.cells),
+            "stored": stored,
+            "simulated": max(0, stored - self.cached),
+            "cached": self.cached,
+            "failed": len(self.failed_digests()),
+            "lost": len(self.lost),
+        }
+
+    def summary_line(self) -> str:
+        """The one-line completion event ``serve`` prints per job."""
+        s = self.summary()
+        line = (
+            f"job {self.job_id[:12]} {self.state}: {s['cells']} cells, "
+            f"{s['simulated']} simulated, {s['cached']} cached, "
+            f"{s['failed']} failed"
+        )
+        if s["lost"]:
+            line += f", {s['lost']} lost"
+        return line
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering of the whole job record."""
+        return {
+            "format": JOB_FORMAT,
+            "id": self.job_id,
+            "sweep": self.sweep,
+            "scale": self.scale,
+            "shards": self.shards,
+            "retries": self.retries,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "cached": self.cached,
+            "stored": self.stored,
+            "failures": self.failures,
+            "lost": self.lost,
+            "requeues": self.requeues,
+            "generation": self.generation,
+            "reports": self.reports,
+            "counters": self.counters,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Job":
+        """Rebuild a job from its :meth:`to_dict` form."""
+        if data.get("format") != JOB_FORMAT:
+            raise ValueError(f"unsupported job format {data.get('format')!r}")
+        return cls(
+            job_id=str(data["id"]),
+            sweep=dict(data["sweep"]),
+            scale=str(data["scale"]),
+            shards=int(data.get("shards", 4)),
+            retries=int(data.get("retries", 2)),
+            state=str(data.get("state", QUEUED)),
+            submitted_at=float(data.get("submitted_at", 0.0)),
+            finished_at=data.get("finished_at"),
+            cells=[JobCell.from_dict(c) for c in data.get("cells", [])],
+            cached=int(data.get("cached", 0)),
+            stored=[str(d) for d in data.get("stored", [])],
+            failures=list(data.get("failures", [])),
+            lost=[str(d) for d in data.get("lost", [])],
+            requeues=int(data.get("requeues", 0)),
+            generation=int(data.get("generation", 0)),
+            reports=[str(r) for r in data.get("reports", [])],
+            counters=dict(data.get("counters", {})),
+            error=str(data.get("error", "")),
+        )

@@ -1,0 +1,118 @@
+"""The sweep-service worker: claim a ticket, simulate, stream to store.
+
+A worker is deliberately dumb: it claims one ticket, re-executes each
+cell from the key payload recorded in the job file (the same payload
+``cache verify`` replays, so service results are bit-identical to a
+serial :func:`~repro.experiments.common.run_cells` pass), writes every
+completed cell straight into the shared :class:`ResultStore`, and
+heartbeats its claim between cells.  All retry/classification policy
+is :func:`repro.resilience.run_attempts` — the executor's serial twin —
+so transient failures back off and retry in-worker while permanent ones
+are recorded in the shard report's failure taxonomy and left for the
+scheduler to account.
+
+Crash safety needs no protocol: cells already stored survive the crash
+(the store is the ledger), the abandoned claim's lease expires, and the
+scheduler re-issues only the still-missing fingerprints.
+
+``$REPRO_FAULT`` ``cell`` clauses inject here too — one worker process
+per ``serve`` slot makes a ``kill`` clause a genuine worker death — with
+the attempt token keyed by the ticket's generation, so a requeued shard
+re-rolls its fault decisions instead of dying identically forever.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.common import compute_cell
+from repro.resilience import ExecutionPolicy, FailureReport, run_attempts
+from repro.resilience.faults import plan_from_env
+from repro.service.jobs import Job, JobCell
+from repro.service.queue import ServiceQueue
+from repro.store import ResultStore
+
+
+class ServiceWorker:
+    """Claims and executes one ticket at a time against a shared store."""
+
+    def __init__(
+        self,
+        queue: ServiceQueue,
+        store: ResultStore,
+        name: str | None = None,
+    ) -> None:
+        self.queue = queue
+        self.store = store
+        self.name = name or f"worker-{os.getpid()}"
+
+    def poll_once(self) -> bool:
+        """Claim and run one ticket; False when none was available."""
+        claim = self.queue.claim(self.name)
+        if claim is None:
+            return False
+        self._run_claim(claim)
+        return True
+
+    def _run_claim(self, claim: dict) -> None:
+        """Execute every cell of one claimed ticket."""
+        job = self.queue.load_job(str(claim.get("job", "")))
+        if job is None:
+            self.queue.finish_claim(claim)
+            return
+        policy = ExecutionPolicy(retries=job.retries, max_failures=None)
+        report = FailureReport()
+        plan = plan_from_env()
+        generation = int(claim.get("generation", 0))
+        for index in claim.get("indices", []):
+            index = int(index)
+            if not 0 <= index < len(job.cells):
+                continue
+            cell = job.cells[index]
+            if self.store.validated(cell.store_key()):
+                # Another worker (or an earlier generation) got here
+                # first; the fingerprint says so, skip idempotently.
+                self.queue.heartbeat(claim)
+                continue
+
+            def compute(cell: JobCell = cell) -> object:
+                if plan is not None:
+                    plan.inject_cell(cell.label, generation)
+                return compute_cell(cell.key, max_cycles=job.max_cycles)
+
+            stats = run_attempts(index, cell.label, compute, policy, report)
+            if stats is not None:
+                self.store.put(cell.store_key(), stats)
+            self._after_cell(job, cell)
+            self.queue.heartbeat(claim)
+        data = report.to_dict(policy)
+        for failure_dict, failure in zip(data["failures"], report.failures):
+            failure_dict["digest"] = job.cells[failure.index].digest
+        data["worker"] = self.name
+        self.queue.write_report(claim, data)
+        self.queue.finish_claim(claim)
+
+    def _after_cell(self, job: Job, cell: JobCell) -> None:
+        """Per-cell hook; the chaos tests override it to die mid-shard."""
+
+
+def worker_main(
+    root: str,
+    store_root: str | None = None,
+    poll: float = 0.2,
+    name: str | None = None,
+) -> int:
+    """Worker-process entry point: poll for tickets until told to stop.
+
+    ``dkip-experiments serve`` spawns one process per ``--workers`` slot
+    with this target; any other host pointing at the same spool
+    directory can run it too (that is the whole multi-host story).
+    """
+    queue = ServiceQueue(root)
+    store = ResultStore(store_root if store_root else queue.root / "store")
+    worker = ServiceWorker(queue, store, name=name)
+    while not queue.stop_requested():
+        if not worker.poll_once():
+            time.sleep(poll)
+    return 0

@@ -16,6 +16,7 @@ rather than crash.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import random
@@ -29,6 +30,12 @@ from repro.sim.stats import STATS_SCHEMA_VERSION, SimStats
 
 #: On-disk entry envelope version (distinct from the stats schema).
 ENTRY_FORMAT = 1
+
+#: Monotonic per-process suffix component for temp files; combined with
+#: the pid and fresh entropy so two threads in one process — or two
+#: hosts sharing a store over a network filesystem — never collide on
+#: the same in-flight temp name.
+_TMP_COUNTER = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -94,7 +101,14 @@ class ResultStore:
         return self.root / "objects" / key.digest[:2] / f"{key.digest}.json"
 
     def contains(self, key: CellKey) -> bool:
-        """Return whether an entry file exists for *key* (no validation)."""
+        """Return whether an entry *file* exists for *key* — no validation.
+
+        A zero-length or corrupt entry still reports present, so this is
+        only a cheap existence probe (counters, tests, diagnostics).
+        Skip decisions — "is this cell already done?" in a sweep or the
+        service scheduler — must go through :meth:`get`, which validates
+        the envelope and stats digest and reads any defect as a miss.
+        """
         return self.path_for(key).exists()
 
     def get(self, key: CellKey) -> SimStats | None:
@@ -137,6 +151,13 @@ class ResultStore:
         only) truncates the serialized entry on its way to disk, keyed
         by ``<digest>#<write counter>`` so a clean follow-up run
         self-heals the damaged cell.
+
+        The temp name is unique per call (pid + counter + entropy), not
+        per process: concurrent writers of the same cell — service
+        workers racing after a lease expiry, or two hosts on a shared
+        filesystem — each publish their own complete temp file, and the
+        ``finally`` unlinks it when a raised write/fsync aborts before
+        the rename, so failures never orphan ``.tmp.*`` litter.
         """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -152,12 +173,19 @@ class ResultStore:
         plan = plan_from_env()
         if plan is not None:
             text = plan.corrupt_store_text(f"{key.digest}#{self.writes}", text)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{next(_TMP_COUNTER)}.{os.urandom(4).hex()}"
+        )
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            # On success the rename consumed the temp file; on any raise
+            # above, this removes it (missing_ok covers both).
+            tmp.unlink(missing_ok=True)
         self._fsync_dir(path.parent)
         self.writes += 1
         return path
@@ -181,7 +209,14 @@ class ResultStore:
     # ------------------------------------------------------------------
 
     def iter_entries(self) -> Iterator[tuple[Path, dict | None]]:
-        """Every ``(path, entry)`` in the store; ``None`` entry = corrupt."""
+        """Every ``(path, entry)`` in the store; ``None`` entry = corrupt.
+
+        The store is a shared, concurrently-written substrate: another
+        process may ``put`` or ``prune`` while we iterate.  A file that
+        vanishes between the directory listing and its open is simply
+        skipped — it is gone, not corrupt — so maintenance over a live
+        store never crashes or misreports phantom corruption.
+        """
         objects = self.root / "objects"
         if not objects.is_dir():
             return
@@ -197,6 +232,8 @@ class ResultStore:
                     raise ValueError("incomplete entry")
                 if entry["stats_digest"] != digest(entry["stats"]):
                     raise ValueError("stats digest mismatch")
+            except FileNotFoundError:
+                continue
             except (OSError, ValueError, KeyError, TypeError):
                 yield path, None
                 continue
@@ -211,7 +248,12 @@ class ResultStore:
         machines: dict[str, int] = {}
         workloads: dict[str, int] = {}
         for path, entry in self.iter_entries():
-            total_bytes += path.stat().st_size
+            try:
+                total_bytes += path.stat().st_size
+            except FileNotFoundError:
+                # Pruned (or re-put) under us between read and stat;
+                # count the entry, skip its vanished size.
+                pass
             if entry is None:
                 corrupt += 1
                 continue
@@ -268,6 +310,18 @@ class ResultStore:
         os.replace(path, dest)
         return dest
 
+    def validated(self, key: CellKey) -> bool:
+        """Return whether *key* has a fully valid stored entry.
+
+        The skip-decision predicate (:meth:`contains` is existence-only):
+        reads and validates the entry without touching the hit/miss
+        counters, so schedulers can probe without skewing run stats.
+        """
+        hits, misses, corrupt = self.hits, self.misses, self.corrupt
+        found = self.get(key) is not None
+        self.hits, self.misses, self.corrupt = hits, misses, corrupt
+        return found
+
     def verify(
         self,
         compute: Callable[[dict], SimStats],
@@ -302,7 +356,10 @@ class ResultStore:
                 checked.append((p, e))
             elif quarantine:
                 reason = "corrupt entry" if e is None else "stale stats schema"
-                dest = self.quarantine_entry(p)
+                try:
+                    dest = self.quarantine_entry(p)
+                except FileNotFoundError:
+                    continue  # concurrently pruned/overwritten: nothing to keep
                 quarantined.append(
                     {"digest": p.stem, "cell": "?", "status": "quarantined",
                      "detail": f"{reason}; moved to {dest}"}

@@ -266,3 +266,31 @@ def test_executor_timeout_only_hits_the_overdue_cell():
     assert results == {1: 7}
     (failure,) = report.failures
     assert failure.index == 0 and failure.kind == TIMEOUT
+
+
+def test_backoff_for_is_keyed_per_cell_and_attempt():
+    """Jitter draws are a pure function of (seed, label, attempt).
+
+    Regression: the executor used to draw jitter from one shared RNG,
+    so the delay any given cell saw depended on how many other cells
+    had retried first — making ``$REPRO_FAULT`` replays schedule
+    differently run to run.  Keyed RNGs make the schedule stable under
+    reordering.
+    """
+    policy = ExecutionPolicy(seed=7, backoff_base=0.1, backoff_cap=10.0)
+    reference = policy.backoff_for("machine x swim", 2)
+    # Interleave draws for other cells/attempts in arbitrary order...
+    for label in ("a", "b", "machine x mcf"):
+        for attempt in (1, 2, 3):
+            policy.backoff_for(label, attempt)
+    # ...and the original (label, attempt) still gets the same delay.
+    assert policy.backoff_for("machine x swim", 2) == reference
+    # A fresh policy with the same seed reproduces it exactly.
+    again = ExecutionPolicy(seed=7, backoff_base=0.1, backoff_cap=10.0)
+    assert again.backoff_for("machine x swim", 2) == reference
+    # Different key or seed: a different (but still bounded) draw.
+    assert policy.backoff_for("machine x swim", 3) != reference
+    assert policy.backoff_for("other", 2) != reference
+    other_seed = ExecutionPolicy(seed=8, backoff_base=0.1, backoff_cap=10.0)
+    assert other_seed.backoff_for("machine x swim", 2) != reference
+    assert 0.1 <= reference <= 0.2  # attempt-2 ceiling, half-to-full jitter

@@ -1,0 +1,73 @@
+"""Shared fixtures for the sweep-service tests.
+
+Everything here runs in-process (workers included) against a fake
+clock, so lease expiry and heartbeat age are deterministic; only the
+chaos battery spawns real worker processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceQueue
+from repro.store import ResultStore
+
+#: A tiny 2 machines x 2 workloads grid every service test reuses.
+MAPPING = {
+    "name": "svc",
+    "machines": ["r10(rob=32)", "dkip(llib=4096)"],
+    "workloads": ["mcf", "swim"],
+    "instructions": 400,
+}
+
+
+class FakeClock:
+    """An injectable wall clock tests advance by hand."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def drain(scheduler, workers, rounds: int = 50) -> list[str]:
+    """Alternate scheduler and worker polls until the spool drains."""
+    events: list[str] = []
+    for _ in range(rounds):
+        events += scheduler.poll_once()
+        while any(worker.poll_once() for worker in workers):
+            pass
+        if scheduler.drained():
+            return events
+    raise AssertionError(f"service did not drain; events so far: {events}")
+
+
+@pytest.fixture
+def mapping() -> dict:
+    return dict(MAPPING)
+
+
+@pytest.fixture
+def drain_service():
+    return drain
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock) -> ServiceQueue:
+    spool = ServiceQueue(tmp_path / "svc", clock=clock)
+    spool.ensure()
+    return spool
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")

@@ -1,0 +1,92 @@
+"""Job records: content-addressed ids, round-trips, accounting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import Job, JobCell, build_job, job_id_for
+from repro.service.jobs import DONE, QUEUED
+
+MAPPING = {
+    "name": "svc",
+    "machines": ["r10(rob=32)", "dkip(llib=4096)"],
+    "workloads": ["mcf", "swim"],
+    "instructions": 400,
+}
+
+
+def test_job_id_is_content_addressed():
+    a = {"name": "s", "machines": ["r10"], "workloads": ["mcf"]}
+    b = {"workloads": ["mcf"], "machines": ["r10"], "name": "s"}
+    assert job_id_for(a, "quick") == job_id_for(b, "quick")
+    assert job_id_for(a, "quick") != job_id_for(a, "full")
+    c = dict(a, workloads=["swim"])
+    assert job_id_for(a, "quick") != job_id_for(c, "quick")
+
+
+def test_build_job_canonicalizes_equivalent_spellings():
+    # A scalar machines/workloads value and the list form describe the
+    # same grid, so they must hash to the same job.
+    scalar = {"name": "svc", "machines": "r10(rob=32)", "workloads": "mcf"}
+    listed = {"name": "svc", "machines": ["r10(rob=32)"], "workloads": ["mcf"]}
+    assert build_job(scalar, "quick").job_id == build_job(listed, "quick").job_id
+
+
+def test_build_job_rejects_malformed_mappings():
+    with pytest.raises(Exception):
+        build_job({"name": "svc", "machines": [], "bogus_key": 1}, "quick")
+
+
+def test_job_round_trips_through_json():
+    job = build_job(MAPPING, "quick", shards=3, retries=1)
+    job.cells = [JobCell(digest="d1", label="m x w", key={"machine": {}})]
+    job.stored = ["d1"]
+    job.failures = [{"digest": "d2", "kind": "permanent"}]
+    job.lost = ["d3"]
+    job.requeues = 2
+    job.generation = 3
+    job.counters = {"completed": 1}
+    job.state = DONE
+    again = Job.from_dict(json.loads(json.dumps(job.to_dict())))
+    assert again == job
+
+
+def test_job_from_dict_rejects_unknown_format():
+    data = build_job(MAPPING, "quick").to_dict()
+    data["format"] = 99
+    with pytest.raises(ValueError):
+        Job.from_dict(data)
+
+
+def test_failed_digests_exclude_later_successes():
+    job = build_job(MAPPING, "quick")
+    job.failures = [
+        {"digest": "a", "kind": "permanent"},
+        {"digest": "b", "kind": "timeout"},
+    ]
+    job.stored = ["b"]  # b eventually landed after a retry elsewhere
+    assert job.failed_digests() == {"a": "permanent"}
+
+
+def test_summary_counts_simulated_versus_cached():
+    job = build_job(MAPPING, "quick")
+    job.cells = [
+        JobCell(digest=d, label=d, key={}) for d in ("a", "b", "c", "d")
+    ]
+    job.stored = ["a", "b", "c"]
+    job.cached = 2
+    job.failures = [{"digest": "d", "kind": "permanent"}]
+    summary = job.summary()
+    assert summary == {
+        "cells": 4,
+        "stored": 3,
+        "simulated": 1,
+        "cached": 2,
+        "failed": 1,
+        "lost": 0,
+    }
+    line = job.summary_line()
+    assert "4 cells, 1 simulated, 2 cached, 1 failed" in line
+    assert job.state == QUEUED

@@ -199,3 +199,80 @@ def test_verify_sampling_is_deterministic(store, pool):
     one = store.verify(compute_cell, sample=1, rng_seed=7)
     two = store.verify(compute_cell, sample=1, rng_seed=7)
     assert [r["digest"] for r in one] == [r["digest"] for r in two]
+
+
+# ----------------------------------------------------------------------
+# Concurrent-writer hardening (sweep-service seams)
+# ----------------------------------------------------------------------
+
+
+def test_put_tmp_names_are_unique_per_call(store, pool, monkeypatch):
+    """Two writes of the same key must not share one temp path."""
+    import os as os_module
+
+    sources = []
+    real_replace = os_module.replace
+
+    def recording_replace(src, dst):
+        sources.append(str(src))
+        return real_replace(src, dst)
+
+    monkeypatch.setattr("repro.store.store.os.replace", recording_replace)
+    key = cell_key(R10_64, pool.get("swim"), 600, DEFAULT_MEMORY)
+    stats = run_core(R10_64, pool.get("swim"), 600)
+    store.put(key, stats)
+    store.put(key, stats)
+    assert len(sources) == 2 and sources[0] != sources[1]
+    assert all(".tmp." in src for src in sources)
+
+
+def test_put_failure_leaves_no_tmp_orphan(store, pool, monkeypatch):
+    key = cell_key(R10_64, pool.get("swim"), 600, DEFAULT_MEMORY)
+    stats = run_core(R10_64, pool.get("swim"), 600)
+
+    def failing_fsync(fd):
+        raise OSError("disk full")
+
+    monkeypatch.setattr("repro.store.store.os.fsync", failing_fsync)
+    with pytest.raises(OSError):
+        store.put(key, stats)
+    monkeypatch.undo()
+    assert list(store.root.glob("objects/*/*.tmp.*")) == []
+    assert store.get(key) is None
+    # A clean retry still lands.
+    store.put(key, stats)
+    assert store.get(key) == stats
+
+
+def test_iter_entries_tolerates_concurrent_unlink(store, pool):
+    """A file vanishing mid-scan is skipped, not reported corrupt."""
+    for name in ("swim", "mcf"):
+        run_core_cached(R10_64, pool.get(name), 600, store=store)
+    entries = store.iter_entries()
+    first_path, first_entry = next(entries)
+    assert first_entry is not None
+    for path in store.root.glob("objects/*/*.json"):
+        if path != first_path:
+            path.unlink()
+    assert list(entries) == []
+    assert store.prune() == 0
+
+
+def test_contains_lies_about_torn_entries_but_validated_does_not(store, pool):
+    run_core_cached(R10_64, pool.get("swim"), 600, store=store)
+    key = cell_key(R10_64, pool.get("swim"), 600, DEFAULT_MEMORY)
+    assert store.validated(key) is True
+    store.path_for(key).write_text("")  # a torn/zero-length entry
+    assert store.contains(key) is True  # the existence probe is fooled
+    assert store.validated(key) is False  # the skip decision is not
+    assert store.get(key) is None
+
+
+def test_validated_does_not_skew_counters(store, pool):
+    run_core_cached(R10_64, pool.get("swim"), 600, store=store)
+    key = cell_key(R10_64, pool.get("swim"), 600, DEFAULT_MEMORY)
+    miss = cell_key(R10_64, pool.get("mcf"), 600, DEFAULT_MEMORY)
+    before = (store.hits, store.misses, store.corrupt)
+    assert store.validated(key) is True
+    assert store.validated(miss) is False
+    assert (store.hits, store.misses, store.corrupt) == before
